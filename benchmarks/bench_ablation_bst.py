@@ -1,0 +1,85 @@
+"""Extension — bounded-skew DME's wirelength-vs-budget trade-off (ref [4]).
+
+The background result the paper's Chapter 2 discusses: relaxing the skew
+bound B lets the (unbuffered, Elmore-based) DME avoid wire snaking, so
+total wirelength decreases monotonically with B while the Elmore skew
+stays within budget.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, report
+
+from repro.baselines import BoundedSkewDME
+from repro.benchio import gsrc_instance
+from repro.evalx import format_table
+from repro.evalx.harness import scale_instance
+from repro.tech import default_technology
+from repro.timing.elmore import elmore_delays
+from repro.timing.rctree import RCTree
+from repro.tree.nodes import NodeKind
+
+BOUNDS_PS = (0.0, 25.0, 75.0, 250.0)
+
+
+def _elmore_spread(tree, tech) -> float:
+    rc = RCTree("root")
+    sinks = []
+
+    def build(node, parent):
+        name = f"n{node.id}"
+        if node.wire_to_parent > 0:
+            rc.add_wire(parent, name, node.wire_to_parent, tech.wire, 6)
+        else:
+            rc.add_node(name, parent, 1e-6, 0.0)
+        if node.kind is NodeKind.SINK:
+            rc.add_cap(name, node.cap)
+            sinks.append(name)
+        for child in node.children:
+            build(child, name)
+
+    for child in tree.root.children:
+        build(child, "root")
+    delays = elmore_delays(rc)
+    values = [delays[s] for s in sinks]
+    return max(values) - min(values)
+
+
+def test_ablation_bst_tradeoff(benchmark):
+    tech = default_technology()
+    inst = scale_instance(gsrc_instance("r2"), scale=DEFAULT_SCALE)
+    sinks = inst.sink_pairs()
+
+    def run_all():
+        out = {}
+        for bound_ps in BOUNDS_PS:
+            result = BoundedSkewDME(tech, bound_ps * 1e-12).synthesize(sinks)
+            out[bound_ps] = (
+                result.tree.total_wirelength(),
+                _elmore_spread(result.tree, tech),
+            )
+        return out
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [f"B = {b:.0f} ps", round(wl / 1e3, 1), spread * 1e12]
+        for b, (wl, spread) in runs.items()
+    ]
+    report(
+        "ablation_bst",
+        format_table(
+            ["skew budget", "wirelength [ku]", "elmore skew [ps]"],
+            rows,
+            title="Extension — bounded-skew DME trade-off (r2-scaled, unbuffered)",
+        ),
+    )
+    wls = [runs[b][0] for b in BOUNDS_PS]
+    # Wirelength decreases monotonically with the budget ...
+    for tighter, looser in zip(wls, wls[1:]):
+        assert looser <= tighter * 1.001
+    assert wls[-1] < wls[0]
+    # ... while the Elmore skew honors each budget (with a small
+    # allowance for the lumped-wire approximation of the merge formula).
+    for b in BOUNDS_PS:
+        wl, spread = runs[b]
+        assert spread <= b * 1e-12 + 12e-12

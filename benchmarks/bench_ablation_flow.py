@@ -1,0 +1,57 @@
+"""Ablations A2/A3 — binary search and balance stages on/off.
+
+DESIGN.md's design-choice ablations: disabling the binary-search stage or
+the balance stage must not break the slew constraint (slew control lives
+in the routing/insertion logic) but degrades skew.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import gsrc_instance
+from repro.core.options import CTSOptions
+from repro.evalx import format_table, paper_data
+from repro.evalx.harness import run_aggressive, scale_instance
+
+VARIANTS = {
+    "full": CTSOptions(),
+    "no-binary-search": CTSOptions(enable_binary_search=False),
+    "no-balance": CTSOptions(enable_balance=False),
+    "neither": CTSOptions(enable_binary_search=False, enable_balance=False),
+}
+
+
+def test_ablation_flow_stages(benchmark):
+    inst = scale_instance(gsrc_instance("r2"), scale=DEFAULT_SCALE)
+
+    def run_all():
+        return {
+            name: run_aggressive(inst, options=options, eval_dt=EVAL_DT)
+            for name, options in VARIANTS.items()
+        }
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            run.metrics.worst_slew * 1e12,
+            run.metrics.skew * 1e12,
+            run.metrics.latency * 1e9,
+            run.metrics.n_buffers,
+        ]
+        for name, run in runs.items()
+    ]
+    report(
+        "ablation_flow",
+        format_table(
+            ["variant", "slew[ps]", "skew[ps]", "lat[ns]", "buffers"],
+            rows,
+            title="Ablation — balance / binary-search stages (r2-scaled)",
+        ),
+    )
+
+    for name, run in runs.items():
+        assert run.metrics.worst_slew * 1e12 <= paper_data.SLEW_LIMIT_PS, name
+    # The full flow must beat the fully ablated one on skew.
+    assert runs["full"].metrics.skew <= runs["neither"].metrics.skew

@@ -1,0 +1,51 @@
+"""Ablation A1 — routing grid resolution R.
+
+The paper defaults to R = 45 cells per dimension and grows the grid for
+long nets so enough buffer locations exist. Coarser grids quantize buffer
+positions harder (worse slew utilization, possibly worse skew); finer
+grids cost runtime. Slew must hold at every resolution.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import gsrc_instance
+from repro.core.options import CTSOptions
+from repro.evalx import format_table, paper_data
+from repro.evalx.harness import run_aggressive, scale_instance
+
+RESOLUTIONS = (12, 45, 90)
+
+
+def test_ablation_grid_resolution(benchmark):
+    inst = scale_instance(gsrc_instance("r1"), scale=DEFAULT_SCALE)
+
+    def run_all():
+        out = {}
+        for r in RESOLUTIONS:
+            options = CTSOptions(grid_resolution=r)
+            out[r] = run_aggressive(inst, options=options, eval_dt=EVAL_DT)
+        return out
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            f"R={r}",
+            run.metrics.worst_slew * 1e12,
+            run.metrics.skew * 1e12,
+            run.metrics.n_buffers,
+            round(run.synthesis.runtime, 2),
+        ]
+        for r, run in runs.items()
+    ]
+    report(
+        "ablation_grid",
+        format_table(
+            ["resolution", "slew[ps]", "skew[ps]", "buffers", "synth[s]"],
+            rows,
+            title="Ablation — routing grid resolution (r1-scaled)",
+        ),
+    )
+    for r, run in runs.items():
+        assert run.metrics.worst_slew * 1e12 <= paper_data.SLEW_LIMIT_PS, r

@@ -1,0 +1,55 @@
+"""Ablation A6 — profile router vs general maze router.
+
+Without blockages the two routers implement the same algorithm on the
+same profiles; the profile router exploits the uniform medium for speed.
+Equivalence of the synthesized-tree quality and the runtime gap are both
+measured here.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import gsrc_instance
+from repro.core.options import CTSOptions
+from repro.evalx import format_table, paper_data
+from repro.evalx.harness import run_aggressive, scale_instance
+
+
+def test_ablation_router(benchmark):
+    inst = scale_instance(gsrc_instance("r1"), scale=min(DEFAULT_SCALE, 30))
+
+    def run_both():
+        return {
+            name: run_aggressive(
+                inst, options=CTSOptions(router=name), eval_dt=EVAL_DT
+            )
+            for name in ("profile", "maze")
+        }
+
+    runs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            run.metrics.worst_slew * 1e12,
+            run.metrics.skew * 1e12,
+            run.metrics.n_buffers,
+            round(run.synthesis.runtime, 2),
+        ]
+        for name, run in runs.items()
+    ]
+    report(
+        "ablation_router",
+        format_table(
+            ["router", "slew[ps]", "skew[ps]", "buffers", "synth[s]"],
+            rows,
+            title="Ablation — profile vs maze router (r1-scaled, no blockages)",
+        ),
+    )
+    prof, maze = runs["profile"], runs["maze"]
+    assert prof.metrics.worst_slew * 1e12 <= paper_data.SLEW_LIMIT_PS
+    assert maze.metrics.worst_slew * 1e12 <= paper_data.SLEW_LIMIT_PS
+    # Equivalent quality (same insertion logic, grid-quantum differences).
+    assert maze.metrics.n_buffers == pytest.approx(prof.metrics.n_buffers, rel=0.25)
+    # The profile router must be substantially faster.
+    assert prof.synthesis.runtime < maze.synthesis.runtime

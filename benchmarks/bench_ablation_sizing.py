@@ -1,0 +1,84 @@
+"""Ablation A5 — intelligent buffer sizing vs a single fixed size.
+
+The paper's router evaluates every library size at and ahead of the
+expansion cell ("intelligent buffer sizing"). Restricting the library to
+one size must still satisfy slew (insertion adapts by spacing buffers
+closer) but costs buffers and/or skew.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import gsrc_instance
+from repro.core import AggressiveBufferedCTS
+from repro.evalx import evaluate_tree, format_table, paper_data
+from repro.evalx.harness import scale_instance
+from repro.tech import cts_buffer_library, default_technology
+
+
+def test_ablation_sizing(benchmark):
+    tech = default_technology()
+    inst = scale_instance(gsrc_instance("r1"), scale=DEFAULT_SCALE)
+    full_lib = cts_buffer_library()
+    variants = {
+        "all-three-sizes": full_lib,
+        "only-10X": full_lib.subset(["BUF10X"]),
+        "only-30X": full_lib.subset(["BUF30X"]),
+    }
+
+    def run_all():
+        from repro.charlib import load_default_library
+
+        full_char = load_default_library(tech)
+        out = {}
+        for name, buffers in variants.items():
+            # A restricted buffer library gets a matching restricted
+            # characterization: the full library's fits are self-contained
+            # per (drive, load) combination, so filtering is exact.
+            char = (
+                full_char
+                if name == "all-three-sizes"
+                else _restrict(full_char, buffers.names)
+            )
+            cts = AggressiveBufferedCTS(tech=tech, buffers=buffers, library=char)
+            result = cts.synthesize(inst.sink_pairs(), inst.source)
+            out[name] = (result, evaluate_tree(result.tree, tech, dt=EVAL_DT))
+        return out
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            metrics.worst_slew * 1e12,
+            metrics.skew * 1e12,
+            metrics.n_buffers,
+            round(metrics.wirelength / 1e3),
+        ]
+        for name, (result, metrics) in runs.items()
+    ]
+    report(
+        "ablation_sizing",
+        format_table(
+            ["library", "slew[ps]", "skew[ps]", "buffers", "wl[ku]"],
+            rows,
+            title="Ablation — buffer sizing freedom (r1-scaled)",
+        ),
+    )
+    for name, (__, metrics) in runs.items():
+        assert metrics.worst_slew * 1e12 <= paper_data.SLEW_LIMIT_PS, name
+    # A single small size needs more buffers than the full library.
+    assert runs["only-10X"][1].n_buffers >= runs["all-three-sizes"][1].n_buffers
+
+
+def _restrict(library, keep):
+    from repro.charlib.library import DelaySlewLibrary
+
+    buffers = [b for b in library.buffers.values() if b.name in keep]
+    single = {
+        key: fits
+        for key, fits in library.single.items()
+        if key[0] in keep and key[1] in keep
+    }
+    branch = {d: fits for d, fits in library.branch.items() if d in keep}
+    return DelaySlewLibrary(library.tech_name, buffers, single, branch, library.meta)

@@ -1,0 +1,52 @@
+"""Extension — slew-limit sweep.
+
+How the flow trades buffers/latency for slew headroom: tighter limits
+force shorter stages (more buffers, deeper trees); looser limits relax
+them. Every point must honor its own limit under simulation.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import gsrc_instance
+from repro.core.options import CTSOptions
+from repro.evalx import format_table
+from repro.evalx.harness import run_aggressive, scale_instance
+
+LIMITS_PS = (70.0, 100.0, 150.0)
+
+
+def test_ablation_slew_limit(benchmark):
+    inst = scale_instance(gsrc_instance("r1"), scale=min(DEFAULT_SCALE, 30))
+
+    def run_all():
+        out = {}
+        for limit in LIMITS_PS:
+            options = CTSOptions(slew_limit=limit * 1e-12)
+            out[limit] = run_aggressive(inst, options=options, eval_dt=EVAL_DT)
+        return out
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{limit:.0f} ps",
+            run.metrics.worst_slew * 1e12,
+            run.metrics.skew * 1e12,
+            run.metrics.latency * 1e9,
+            run.metrics.n_buffers,
+        ]
+        for limit, run in runs.items()
+    ]
+    report(
+        "ablation_slew_limit",
+        format_table(
+            ["slew limit", "worst slew[ps]", "skew[ps]", "lat[ns]", "buffers"],
+            rows,
+            title="Extension — slew-limit sweep (r1-scaled)",
+        ),
+    )
+    for limit, run in runs.items():
+        assert run.metrics.worst_slew * 1e12 <= limit, f"{limit} ps run violated"
+    # Tighter limit -> more buffers.
+    assert runs[70.0].metrics.n_buffers > runs[150.0].metrics.n_buffers

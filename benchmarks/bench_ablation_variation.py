@@ -1,0 +1,66 @@
+"""Extension — process-variation Monte Carlo on a synthesized tree.
+
+Beyond the paper (its related work [13-16] motivates variation-tolerant
+CTS): quantify how the synthesized tree's skew degrades under within-die
+variation of buffer strength and wire RC, and how die-to-die variation
+moves latency but not skew.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, report
+
+from repro.benchio import gsrc_instance
+from repro.core import AggressiveBufferedCTS
+from repro.evalx import format_table
+from repro.evalx.variation import VariationModel, monte_carlo_skew
+from repro.evalx.harness import scale_instance
+from repro.tech import default_technology
+
+MODELS = {
+    "nominal": VariationModel(0.0, 0.0, 0.0, 0.0, seed=2),
+    "local 5%": VariationModel(0.05, 0.05, 0.03, 0.0, seed=2),
+    "local 10%": VariationModel(0.10, 0.08, 0.05, 0.0, seed=2),
+    "local 5% + global 10%": VariationModel(0.05, 0.05, 0.03, 0.10, seed=2),
+}
+
+
+def test_ablation_variation(benchmark):
+    tech = default_technology()
+    inst = scale_instance(gsrc_instance("r1"), scale=min(DEFAULT_SCALE, 20))
+    cts = AggressiveBufferedCTS(tech=tech)
+    result = cts.synthesize(inst.sink_pairs(), inst.source)
+
+    def run_all():
+        return {
+            name: monte_carlo_skew(result.tree, tech, model, n_samples=6, dt=2e-12)
+            for name, model in MODELS.items()
+        }
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            mc.nominal_skew * 1e12,
+            mc.mean_skew * 1e12,
+            mc.p95_skew * 1e12,
+            mc.sigma_latency * 1e12,
+        ]
+        for name, mc in runs.items()
+    ]
+    report(
+        "ablation_variation",
+        format_table(
+            ["variation model", "nominal skew", "mean skew", "p95 skew", "sigma(lat)"],
+            rows,
+            title="Extension — Monte Carlo skew under process variation (ps)",
+        ),
+    )
+    nominal = runs["nominal"]
+    local10 = runs["local 10%"]
+    both = runs["local 5% + global 10%"]
+    # Local variation inflates skew; stronger sigma inflates it more.
+    assert local10.mean_skew > nominal.mean_skew
+    assert runs["local 5%"].mean_skew <= local10.mean_skew * 1.2
+    # The global term dominates latency spread.
+    assert both.sigma_latency > runs["local 5%"].sigma_latency

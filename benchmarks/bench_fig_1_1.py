@@ -1,0 +1,37 @@
+"""Fig. 1.1 — wire output slew vs length for 20X and 30X drivers.
+
+Shape claims: slew grows superlinearly with wire length; upsizing the
+driver from 20X to 30X gives only a slight improvement (so sizing alone
+cannot control slew — buffers must go into the wires).
+"""
+
+import pytest
+
+from conftest import report
+
+from repro.evalx import fig_1_1_rows, format_table
+
+
+def test_fig_1_1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig_1_1_rows(), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["length", "slew 20X [ps]", "slew 30X [ps]"],
+        [[r["length"], r["slew_buf20x_ps"], r["slew_buf30x_ps"]] for r in rows],
+        title="Fig 1.1 — wire output slew vs length (mini-SPICE)",
+    )
+    report("fig_1_1", table)
+
+    slew20 = [r["slew_buf20x_ps"] for r in rows]
+    slew30 = [r["slew_buf30x_ps"] for r in rows]
+    lengths = [r["length"] for r in rows]
+    # Slew grows monotonically and superlinearly with length.
+    assert all(b > a for a, b in zip(slew20, slew20[1:]))
+    growth = (slew20[-1] / slew20[0]) / (lengths[-1] / lengths[0])
+    assert growth > 1.2, "slew growth should outpace linear"
+    # 30X helps, but only slightly at long lengths (the paper's point).
+    long_gain = (slew20[-1] - slew30[-1]) / slew20[-1]
+    assert 0.0 < long_gain < 0.35
+    # The slew limit is broken well within the chip scale, both sizes.
+    assert slew30[-1] > 100.0

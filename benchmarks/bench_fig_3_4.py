@@ -1,0 +1,44 @@
+"""Fig. 3.4 — buffer intrinsic delay surfaces: fit quality.
+
+Shape claims: the 3rd/4th-order polynomial surfaces of (input slew, wire
+length) reproduce simulated buffer intrinsic delay to ~1 ps (the paper:
+"matches SPICE simulation results closely"); intrinsic delay varies by
+~10 ps across the input-slew range (Sec. 3.1's 10X-buffer observation).
+"""
+
+import pytest
+
+from conftest import report
+
+from repro.charlib import load_default_library
+from repro.evalx import fig_3_4_rows, format_table
+
+
+def test_fig_3_4(benchmark, tech):
+    rows = benchmark.pedantic(
+        lambda: fig_3_4_rows(validate_points=8), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["drive", "load", "train rms", "train max", "R^2", "val mean", "val max"],
+        [
+            [
+                r["drive"], r["load"], r["train_rms_ps"], r["train_max_ps"],
+                round(r["r_squared"], 5), r["validate_mean_ps"], r["validate_max_ps"],
+            ]
+            for r in rows
+        ],
+        title="Fig 3.4 — buffer intrinsic delay fits (ps)",
+    )
+    report("fig_3_4", table)
+
+    for row in rows:
+        assert row["train_rms_ps"] < 1.0, row
+        assert row["r_squared"] > 0.995, row
+        assert row["validate_mean_ps"] < 2.0, row
+
+    # Sec 3.1: intrinsic delay varies substantially with input slew.
+    library = load_default_library(tech)
+    fit_low = library.single_wire("BUF10X", "BUF20X", 30e-12, 1000.0)
+    fit_high = library.single_wire("BUF10X", "BUF20X", 140e-12, 1000.0)
+    variation = fit_high.buffer_delay - fit_low.buffer_delay
+    assert variation > 8e-12, "intrinsic delay should vary ~10 ps with slew"

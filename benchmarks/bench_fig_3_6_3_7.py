@@ -1,0 +1,44 @@
+"""Figs. 3.6/3.7 — branch wire-delay hyperplane fits.
+
+Shape claims: the multi-variable polynomial ("hyperplane") fits over
+(input slew, stem, left/right length, left/right cap) track simulated
+left- and right-branch wire delays; the left-branch delay depends on the
+*right* branch too (shared driver) — the coupling the fits must capture.
+"""
+
+import pytest
+
+from conftest import report
+
+from repro.charlib import load_default_library
+from repro.evalx import fig_3_6_3_7_rows, format_table
+
+
+def test_fig_3_6_3_7(benchmark, tech):
+    rows = benchmark.pedantic(
+        lambda: fig_3_6_3_7_rows(validate_points=6), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["figure", "drive", "function", "train rms", "R^2", "val mean", "val max"],
+        [
+            [
+                r["figure"], r["drive"], r["function"], r["train_rms_ps"],
+                round(r["r_squared"], 5), r["validate_mean_ps"], r["validate_max_ps"],
+            ]
+            for r in rows
+        ],
+        title="Figs 3.6/3.7 — branch wire delay fits (ps)",
+    )
+    report("fig_3_6_3_7", table)
+
+    for row in rows:
+        assert row["train_rms_ps"] < 2.5, row
+        assert row["r_squared"] > 0.99, row
+        assert row["validate_mean_ps"] < 5.0, row
+
+    # Cross-branch coupling (Fig. 3.6's defining feature): lengthening the
+    # RIGHT branch increases the LEFT branch's wire delay.
+    library = load_default_library(tech)
+    short = library.branch_component("BUF20X", 80e-12, 0.0, 1500.0, 300.0, 8e-15, 8e-15)
+    long = library.branch_component("BUF20X", 80e-12, 0.0, 1500.0, 2800.0, 8e-15, 8e-15)
+    assert long.left_delay > short.left_delay

@@ -1,0 +1,81 @@
+"""Table 5.1 — GSRC benchmarks: ours vs merge-node-only baselines.
+
+Shape claims reproduced (DESIGN.md):
+- worst simulated slew never exceeds the 100 ps limit;
+- skew stays a small fraction of latency;
+- the merge-node-only baselines ([6]/[8]/[16]-style reimplementations)
+  violate slew under the 10X-stressed wire parasitics, which is the
+  paper's motivation for path buffering.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import gsrc_suite
+from repro.evalx import paper_data, render_table_5_1
+from repro.evalx.harness import (
+    full_run_requested,
+    run_aggressive,
+    run_merge_buffer,
+    scale_instance,
+)
+from repro.tech import default_technology
+
+
+def _gsrc_instances():
+    suite = gsrc_suite()
+    if not full_run_requested():
+        suite = suite[:3]  # r1-r3 by default; REPRO_FULL=1 runs all five
+    return [scale_instance(inst, scale=DEFAULT_SCALE) for inst in suite]
+
+
+def test_table_5_1(benchmark):
+    instances = _gsrc_instances()
+    runs = {}
+
+    def synthesize_all():
+        return [run_aggressive(inst, eval_dt=EVAL_DT) for inst in instances]
+
+    results = benchmark.pedantic(synthesize_all, rounds=1, iterations=1)
+    rows = []
+    for inst, run in zip(instances, results):
+        base = inst.name.split("@")[0]
+        paper = paper_data.TABLE_5_1[base]
+        row = run.row()
+        row.update(
+            paper_worst_slew_ps=paper["worst_slew"],
+            paper_skew_ps=paper["skew"],
+            paper_latency_ns=paper["latency_ns"],
+        )
+        for policy, key in (
+            ("chen-wong96", "ref6"),
+            ("chaturvedi-hu04", "ref8"),
+            ("rajaram-pan06", "ref16"),
+        ):
+            metrics = run_merge_buffer(inst, policy, eval_dt=EVAL_DT)
+            row[f"{key}_skew_ps"] = metrics.skew * 1e12
+            row[f"{key}_worst_slew_ps"] = metrics.worst_slew * 1e12
+            row[f"paper_{key}_skew_ps"] = paper[f"skew_{key}"]
+        # The same baseline under 1X parasitics — the regime [6,8,16]
+        # actually published in, where merge-node buffering is viable.
+        tech_1x = default_technology(wire_scale=1.0)
+        metrics_1x = run_merge_buffer(
+            inst, "chaturvedi-hu04", tech=tech_1x, eval_dt=EVAL_DT
+        )
+        row["ref8_1x_skew_ps"] = metrics_1x.skew * 1e12
+        row["ref8_1x_worst_slew_ps"] = metrics_1x.worst_slew * 1e12
+        rows.append(row)
+        runs[base] = (run, row)
+
+    report("table_5_1", render_table_5_1(rows))
+
+    for base, (run, row) in runs.items():
+        # Hard slew constraint honored by simulation.
+        assert row["worst_slew_ps"] <= paper_data.SLEW_LIMIT_PS, base
+        # Skew is a small fraction of latency (paper: ~2-5%).
+        assert row["skew_ps"] * 1e-3 <= 0.08 * row["latency_ns"], base
+        # The merge-node-only baselines violate slew under 10X parasitics.
+        baseline_slews = [row["ref6_worst_slew_ps"], row["ref8_worst_slew_ps"],
+                          row["ref16_worst_slew_ps"]]
+        assert max(baseline_slews) > paper_data.SLEW_LIMIT_PS, base

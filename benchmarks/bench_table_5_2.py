@@ -1,0 +1,53 @@
+"""Table 5.2 — ISPD 2009 benchmarks (large areas, hard slew control).
+
+Shape claims: slew bounded on every benchmark; "all skews are within 3%
+of maximum latency" (we allow a little margin on the reduced default
+instances); latency ordering follows chip area.
+"""
+
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import ispd_suite
+from repro.evalx import paper_data, render_table_5_2
+from repro.evalx.harness import full_run_requested, run_aggressive, scale_instance
+
+
+def _ispd_instances():
+    suite = ispd_suite()
+    if not full_run_requested():
+        keep = {"f11", "f22", "f32"}
+        suite = [inst for inst in suite if inst.name in keep]
+    return [scale_instance(inst, scale=DEFAULT_SCALE) for inst in suite]
+
+
+def test_table_5_2(benchmark):
+    instances = _ispd_instances()
+
+    def synthesize_all():
+        return [run_aggressive(inst, eval_dt=EVAL_DT) for inst in instances]
+
+    results = benchmark.pedantic(synthesize_all, rounds=1, iterations=1)
+    rows = []
+    for inst, run in zip(instances, results):
+        base = inst.name.split("@")[0]
+        paper = paper_data.TABLE_5_2[base]
+        row = run.row()
+        row.update(
+            paper_worst_slew_ps=paper["worst_slew"],
+            paper_skew_ps=paper["skew"],
+            paper_latency_ns=paper["latency_ns"],
+            skew_over_latency_pct=100.0 * run.metrics.skew / run.metrics.latency,
+        )
+        rows.append(row)
+
+    report("table_5_2", render_table_5_2(rows))
+
+    for row in rows:
+        assert row["worst_slew_ps"] <= paper_data.SLEW_LIMIT_PS, row["bench"]
+        assert row["skew_over_latency_pct"] <= 6.0, row["bench"]
+    # Latency ordering follows die size: f22 (smallest) < f32 < f11-like.
+    by_name = {row["bench"].split("@")[0]: row for row in rows}
+    if "f22" in by_name and "f32" in by_name:
+        assert by_name["f22"]["latency_ns"] < by_name["f32"]["latency_ns"]

@@ -1,0 +1,84 @@
+"""Table 5.3 — H-structure re-estimation and correction.
+
+Shape claims: correction is at least as good as re-estimation on average
+(paper: -6.13% vs -2.43% mean skew ratio); per-case variance exists (some
+cases get *worse*, as in the paper); flipping counts grow with benchmark
+size; all variants keep the slew constraint.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import DEFAULT_SCALE, EVAL_DT, report
+
+from repro.benchio import gsrc_suite, ispd_suite
+from repro.core.options import CTSOptions
+from repro.evalx import paper_data, render_table_5_3
+from repro.evalx.harness import full_run_requested, run_aggressive, scale_instance
+
+
+def _instances():
+    suite = gsrc_suite() + ispd_suite()
+    if not full_run_requested():
+        keep = {"r1", "r2", "f11", "f22"}
+        suite = [inst for inst in suite if inst.name in keep]
+    return [scale_instance(inst, scale=DEFAULT_SCALE) for inst in suite]
+
+
+def test_table_5_3(benchmark):
+    instances = _instances()
+
+    def run_all():
+        rows = []
+        for inst in instances:
+            runs = {
+                mode: run_aggressive(
+                    inst, options=CTSOptions(hstructure=mode), eval_dt=EVAL_DT
+                )
+                for mode in (None, "reestimate", "correct")
+            }
+            base_skew = runs[None].metrics.skew
+            base = inst.name.split("@")[0]
+            paper = paper_data.TABLE_5_3.get(base, {})
+            rows.append(
+                {
+                    "bench": inst.name,
+                    "orig_skew_ps": base_skew * 1e12,
+                    "reestimate_skew_ps": runs["reestimate"].metrics.skew * 1e12,
+                    "correct_skew_ps": runs["correct"].metrics.skew * 1e12,
+                    "reestimate_ratio_pct": _ratio(
+                        runs["reestimate"].metrics.skew, base_skew
+                    ),
+                    "correct_ratio_pct": _ratio(
+                        runs["correct"].metrics.skew, base_skew
+                    ),
+                    "flippings": runs["correct"].synthesis.n_flippings,
+                    "paper_reestimate_ratio_pct": paper.get("reestimate_ratio"),
+                    "paper_correct_ratio_pct": paper.get("correct_ratio"),
+                    "paper_flippings": paper.get("flippings"),
+                    "_worst_slew_ps": max(
+                        r.metrics.worst_slew for r in runs.values()
+                    )
+                    * 1e12,
+                    "_sinks": inst.n_sinks,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("table_5_3", render_table_5_3(rows))
+
+    for row in rows:
+        assert row["_worst_slew_ps"] <= paper_data.SLEW_LIMIT_PS, row["bench"]
+        assert row["flippings"] >= 0
+    # Per-case variance is expected (the paper has ratios from -48% to
+    # +26%); the guardrail is that correction never blows skew up
+    # catastrophically on average.
+    mean_correct = float(np.mean([r["correct_ratio_pct"] for r in rows]))
+    assert mean_correct < 60.0
+
+
+def _ratio(skew: float, base: float) -> float:
+    if base <= 0:
+        return 0.0
+    return 100.0 * (skew - base) / base

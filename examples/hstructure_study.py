@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""H-structure correction study (the paper's Sec. 5.2 in miniature).
+
+Synthesizes one benchmark three times — original flow, Method 1
+(re-estimation) and Method 2 (correction) — and compares simulated skew
+and the number of corrected pairings, like a row of Table 5.3.
+
+Usage::
+
+    python examples/hstructure_study.py [benchmark] [n_sinks]
+"""
+
+import sys
+
+from repro.benchio import gsrc_instance, ispd_instance
+from repro.core import AggressiveBufferedCTS, CTSOptions
+from repro.evalx import evaluate_tree, format_table
+from repro.evalx.paper_data import TABLE_5_3
+from repro.tech import default_technology
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "f22"
+    n_sinks = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+
+    tech = default_technology()
+    instance = (
+        gsrc_instance(name) if name.startswith("r") else ispd_instance(name)
+    )
+    if n_sinks:
+        instance = instance.scaled_down(n_sinks, seed=1)
+    print(f"instance: {instance}")
+
+    rows = []
+    skews = {}
+    for mode, label in ((None, "original"), ("reestimate", "method 1"),
+                        ("correct", "method 2")):
+        cts = AggressiveBufferedCTS(tech=tech, options=CTSOptions(hstructure=mode))
+        result = cts.synthesize(instance.sink_pairs(), instance.source)
+        metrics = evaluate_tree(result.tree, tech, dt=2e-12)
+        skews[mode] = metrics.skew
+        rows.append(
+            [
+                label,
+                metrics.skew * 1e12,
+                metrics.worst_slew * 1e12,
+                result.n_flippings,
+                round(result.runtime, 2),
+            ]
+        )
+
+    for row, mode in zip(rows, (None, "reestimate", "correct")):
+        base = skews[None]
+        ratio = 0.0 if base == 0 else 100.0 * (skews[mode] - base) / base
+        row.insert(2, round(ratio, 1))
+
+    print()
+    print(
+        format_table(
+            ["flow", "skew [ps]", "ratio [%]", "slew [ps]", "flippings", "time [s]"],
+            rows,
+            title=f"H-structure study on {name} ({instance.n_sinks} sinks)",
+        )
+    )
+    paper = TABLE_5_3.get(name)
+    if paper:
+        print(
+            f"\npaper ({name}, full size): re-estimation ratio"
+            f" {paper['reestimate_ratio']}%, correction ratio"
+            f" {paper['correct_ratio']}%, {paper['flippings']} flippings"
+        )
+
+
+if __name__ == "__main__":
+    main()

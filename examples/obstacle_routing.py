@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Maze routing around blockages — the general router in action.
+
+Places two groups of sinks on either side of a macro blockage and runs
+the synthesis with the bidirectional maze router. The routed tree detours
+around the macro while keeping slew bounded, and an ASCII plot of the
+tree geometry is printed.
+
+Usage::
+
+    python examples/obstacle_routing.py
+"""
+
+from repro.core import AggressiveBufferedCTS, CTSOptions
+from repro.evalx import evaluate_tree
+from repro.geom import BBox, Point
+from repro.tree.nodes import NodeKind
+
+
+def ascii_plot(tree, blockage, width=72, height=26):
+    """Crude character plot of node locations and the blockage."""
+    nodes = tree.nodes()
+    xs = [n.location.x for n in nodes]
+    ys = [n.location.y for n in nodes]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    span_x = max(xmax - xmin, 1.0)
+    span_y = max(ymax - ymin, 1.0)
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(p):
+        col = int((p.x - xmin) / span_x * (width - 1))
+        row = int((p.y - ymin) / span_y * (height - 1))
+        return (height - 1 - row, col)
+
+    for r in range(height):
+        for c in range(width):
+            x = xmin + c / (width - 1) * span_x
+            y = ymin + (height - 1 - r) / (height - 1) * span_y
+            if blockage.contains(Point(x, y)):
+                grid[r][c] = "#"
+    marks = {
+        NodeKind.SINK: "S",
+        NodeKind.BUFFER: "B",
+        NodeKind.MERGE: "+",
+        NodeKind.SOURCE: "@",
+    }
+    for node in nodes:
+        mark = marks.get(node.kind)
+        if mark:
+            r, c = cell(node.location)
+            grid[r][c] = mark
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    blockage = BBox(9000, 2000, 13000, 16000)  # a macro in the middle
+    sinks = [
+        (Point(2000, 4000), 8e-15),
+        (Point(3000, 12000), 7e-15),
+        (Point(5000, 8000), 9e-15),
+        (Point(17000, 5000), 8e-15),
+        (Point(19000, 13000), 7e-15),
+        (Point(16500, 9500), 6e-15),
+    ]
+    cts = AggressiveBufferedCTS(
+        options=CTSOptions(router="maze"), blockages=[blockage]
+    )
+    result = cts.synthesize(sinks, source_location=Point(11000, 18500))
+    print(result.report())
+
+    metrics = evaluate_tree(result.tree, cts.tech)
+    print(
+        f"\nworst slew {metrics.worst_slew * 1e12:.1f} ps"
+        f" (limit {cts.options.slew_limit * 1e12:.0f}),"
+        f" skew {metrics.skew * 1e12:.1f} ps,"
+        f" latency {metrics.latency * 1e9:.2f} ns"
+    )
+
+    inside = [
+        n.name
+        for n in result.tree.nodes()
+        if n.kind in (NodeKind.BUFFER, NodeKind.MERGE)
+        and blockage.contains(n.location, tol=-200)
+    ]
+    print(f"nodes inside the blockage: {inside or 'none'}")
+
+    print("\nS=sink B=buffer +=merge @=source #=blockage")
+    print(ascii_plot(result.tree, blockage))
+
+
+if __name__ == "__main__":
+    main()

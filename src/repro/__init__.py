@@ -1,0 +1,71 @@
+"""repro — Clock Tree Synthesis Under Aggressive Buffer Insertion.
+
+A full reproduction of the DAC 2010 paper (Chen, Dong, Chen) / UIUC 2012
+thesis (Y.-Y. Chen): maze-routing-based buffered clock tree synthesis with
+buffer insertion anywhere along routing paths, slew-bounded by a
+SPICE-characterized delay/slew library, plus the substrates the paper
+depends on (a mini-SPICE transient simulator, DME baselines, benchmark
+generators and the evaluation harness).
+
+Quickstart::
+
+    from repro import AggressiveBufferedCTS, evaluate_tree
+    from repro.benchio import random_instance
+
+    inst = random_instance(n_sinks=40, area=30000.0, seed=1)
+    cts = AggressiveBufferedCTS()
+    result = cts.synthesize(inst.sink_pairs())
+    metrics = evaluate_tree(result.tree, cts.tech)
+    print(result.report())
+    print(f"worst slew {metrics.worst_slew * 1e12:.1f} ps,"
+          f" skew {metrics.skew * 1e12:.1f} ps")
+"""
+
+from repro.tech import (
+    Technology,
+    WireModel,
+    BufferType,
+    BufferLibrary,
+    default_technology,
+    default_buffer_library,
+    cts_buffer_library,
+)
+from repro.core import (
+    CTSOptions,
+    AggressiveBufferedCTS,
+    SynthesisResult,
+    synthesize_clock_tree,
+)
+from repro.charlib import DelaySlewLibrary, load_default_library, build_library
+from repro.evalx import TreeMetrics, evaluate_tree, engine_metrics
+from repro.timing.analysis import LibraryTimingEngine
+from repro.tree import ClockTree, TreeNode, NodeKind
+from repro.geom import Point
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Technology",
+    "WireModel",
+    "BufferType",
+    "BufferLibrary",
+    "default_technology",
+    "default_buffer_library",
+    "cts_buffer_library",
+    "CTSOptions",
+    "AggressiveBufferedCTS",
+    "SynthesisResult",
+    "synthesize_clock_tree",
+    "DelaySlewLibrary",
+    "load_default_library",
+    "build_library",
+    "TreeMetrics",
+    "evaluate_tree",
+    "engine_metrics",
+    "LibraryTimingEngine",
+    "ClockTree",
+    "TreeNode",
+    "NodeKind",
+    "Point",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baseline CTS algorithms the paper builds on / compares against.
+
+- :mod:`repro.baselines.dme` — the classic Deferred-Merge Embedding flow
+  (Chao et al.) with Tsay's exact zero-skew merge under the Elmore model
+  and Edahiro-style nearest-neighbor topology (Sec. 2.2 of the paper);
+  unbuffered.
+- :mod:`repro.baselines.merge_buffer` — buffered clock tree synthesis
+  with buffers restricted to merge nodes, standing in for the comparison
+  rows [6] (Chen-Wong), [8] (Chaturvedi-Hu) and [16] (Rajaram-Pan) of
+  Table 5.1; three sizing policies model the spread between them.
+"""
+
+from repro.baselines.dme import DMESynthesizer, zero_skew_merge_point
+from repro.baselines.merge_buffer import (
+    MergeBufferCTS,
+    MergeBufferPolicy,
+    COMPARISON_POLICIES,
+)
+from repro.baselines.htree import HTreeSynthesizer, HTreeResult
+from repro.baselines.bst import BoundedSkewDME, BSTResult
+
+__all__ = [
+    "DMESynthesizer",
+    "zero_skew_merge_point",
+    "MergeBufferCTS",
+    "MergeBufferPolicy",
+    "COMPARISON_POLICIES",
+    "HTreeSynthesizer",
+    "HTreeResult",
+    "BoundedSkewDME",
+    "BSTResult",
+]

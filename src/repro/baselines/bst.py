@@ -1,0 +1,195 @@
+"""Bounded-Skew Tree (BST) synthesis — the merge-region baseline (ref [4]).
+
+Cong, Kahng, Koh and Tsao's bounded-skew extension of DME: instead of
+forcing exact zero Elmore skew at every merge (which costs wire snaking
+whenever the tapping point formula leaves [0, 1]), a skew *budget* B is
+maintained. Each sub-tree carries a delay interval [d_min, d_max]; a
+merge chooses the tapping ratio that keeps the merged interval within B
+while snaking only the shortfall beyond the budget — so wirelength
+decreases monotonically as B grows, the classic BST trade-off.
+
+This simplified implementation keeps merge segments as Manhattan arcs
+(full BST generalizes them to merge regions); the wirelength-vs-budget
+behaviour, which is what the paper's background chapter discusses, is
+preserved. Delays are Elmore, as in the original.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines.dme import _closest_point_between, _extension_length
+from repro.geom.manhattan_arc import ManhattanArc, merge_arc
+from repro.geom.point import Point, centroid
+from repro.tech.technology import Technology
+from repro.tree.clocktree import ClockTree
+from repro.tree.nodes import TreeNode, make_merge, make_sink
+
+
+@dataclass
+class _BSTState:
+    """Bottom-up bookkeeping: arc, Elmore delay interval, load cap."""
+
+    arc: ManhattanArc
+    d_min: float
+    d_max: float
+    cap: float
+    node: TreeNode
+    edge_lengths: tuple[float, float] | None
+
+
+@dataclass
+class BSTResult:
+    tree: ClockTree
+    runtime: float
+    skew_bound: float
+
+
+class BoundedSkewDME:
+    """Bounded-skew DME with Manhattan-arc merge segments."""
+
+    def __init__(self, tech: Technology, skew_bound: float):
+        if skew_bound < 0:
+            raise ValueError("skew bound must be non-negative")
+        self.tech = tech
+        self.bound = skew_bound
+        self.alpha = tech.wire.resistance_per_unit
+        self.beta = tech.wire.capacitance_per_unit
+
+    # ------------------------------------------------------------------
+
+    def synthesize(self, sinks: list[tuple[Point, float]]) -> BSTResult:
+        t0 = time.time()
+        states = [
+            _BSTState(
+                ManhattanArc.point(pt), 0.0, 0.0, cap,
+                make_sink(pt, cap, name=f"s{i}"), None,
+            )
+            for i, (pt, cap) in enumerate(sinks)
+        ]
+        center = centroid([pt for pt, __ in sinks])
+        while len(states) > 1:
+            states = self._merge_level(states, center)
+        root_state = states[0]
+        root_point = root_state.arc.closest_point_to(center)
+        self._embed(root_state, root_point)
+        tree = ClockTree.from_network(root_point, root_state.node)
+        return BSTResult(tree, time.time() - t0, self.bound)
+
+    # ------------------------------------------------------------------
+
+    def _wire_delay(self, length: float, load_cap: float) -> float:
+        return self.alpha * length * (self.beta * length / 2.0 + load_cap)
+
+    def _merged_interval(
+        self, s1: _BSTState, s2: _BSTState, l1: float, l2: float
+    ) -> tuple[float, float]:
+        d1 = self._wire_delay(l1, s1.cap)
+        d2 = self._wire_delay(l2, s2.cap)
+        return (
+            min(s1.d_min + d1, s2.d_min + d2),
+            max(s1.d_max + d1, s2.d_max + d2),
+        )
+
+    def _merge_pair(self, s1: _BSTState, s2: _BSTState) -> _BSTState:
+        """Merge two sub-trees keeping the Elmore spread within budget.
+
+        Aligning the two delay-interval *tops* makes the merged spread
+        ``max(spread1, spread2)``; the wire split controls the alignment
+        offset ``d(l1, c1) - d(l2, c2)``, which is continuous and strictly
+        increasing in the tapping ratio, so an exact split is found by
+        bisection whenever the straight connection suffices. The unused
+        budget ``B - max(spread1, spread2)`` is *slack* that shortens (or
+        avoids) wire snaking in the detour cases — the BST wire saving.
+        """
+        dist = max(s1.arc.distance_to(s2.arc), 1e-9)
+        target = s2.d_max - s1.d_max  # required offset to align tops
+        slack = max(0.0, self.bound - max(s1.d_max - s1.d_min, s2.d_max - s2.d_min))
+
+        def offset(x: float) -> float:
+            return self._wire_delay(x * dist, s1.cap) - self._wire_delay(
+                (1.0 - x) * dist, s2.cap
+            )
+
+        lo_off, hi_off = offset(0.0), offset(1.0)
+        if target - slack > hi_off:
+            # Side 2 is slower than any straight split can compensate:
+            # all wire (possibly snaked) on side 1, tapped on side 2's
+            # arc at the closest-approach point (see dme.py for why the
+            # full arc would break wire-length bookkeeping).
+            d1 = max(
+                dist,
+                _extension_length(
+                    0.0, target - slack, s1.cap, self.alpha, self.beta
+                ),
+            )
+            d2 = 0.0
+            arc = ManhattanArc.point(_closest_point_between(s2.arc, s1.arc))
+        elif target + slack < lo_off:
+            d2 = max(
+                dist,
+                _extension_length(
+                    0.0, -(target + slack), s2.cap, self.alpha, self.beta
+                ),
+            )
+            d1 = 0.0
+            arc = ManhattanArc.point(_closest_point_between(s1.arc, s2.arc))
+        else:
+            # Feasible without detour: bisect the monotone offset to the
+            # admissible value nearest the exact alignment.
+            aim = min(max(target, lo_off), hi_off)
+            lo_x, hi_x = 0.0, 1.0
+            for _ in range(60):
+                mid = (lo_x + hi_x) / 2.0
+                if offset(mid) < aim:
+                    lo_x = mid
+                else:
+                    hi_x = mid
+            x = (lo_x + hi_x) / 2.0
+            d1, d2 = x * dist, (1.0 - x) * dist
+            arc = merge_arc(s1.arc, s2.arc, d1, d2)
+        lo, hi = self._merged_interval(s1, s2, d1, d2)
+        node = make_merge(Point(0.0, 0.0))
+        node.children = [s1.node, s2.node]
+        s1.node.parent = node
+        s2.node.parent = node
+        cap = s1.cap + s2.cap + self.beta * (d1 + d2)
+        merged = _BSTState(arc, lo, hi, cap, node, (d1, d2))
+        node._bst_children = (s1, s2)  # type: ignore[attr-defined]
+        return merged
+
+    def _merge_level(self, states: list[_BSTState], center: Point) -> list[_BSTState]:
+        remaining = sorted(
+            states,
+            key=lambda s: s.arc.closest_point_to(center).manhattan_to(center),
+            reverse=True,
+        )
+        out: list[_BSTState] = []
+        if len(remaining) % 2 == 1:
+            seed = max(remaining, key=lambda s: s.d_max)
+            remaining.remove(seed)
+            out.append(seed)
+        while remaining:
+            anchor = remaining.pop(0)
+            partner = min(remaining, key=lambda s: anchor.arc.distance_to(s.arc))
+            remaining.remove(partner)
+            out.append(self._merge_pair(anchor, partner))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _embed(self, state: _BSTState, location: Point) -> None:
+        node = state.node
+        node.location = location
+        if state.edge_lengths is None:
+            return
+        s1, s2 = node._bst_children  # type: ignore[attr-defined]
+        d1, d2 = state.edge_lengths
+        for child_state, length in ((s1, d1), (s2, d2)):
+            child_point = child_state.arc.closest_point_to(location)
+            child_state.node.wire_to_parent = max(
+                length, location.manhattan_to(child_point)
+            )
+            self._embed(child_state, child_point)
+        del node._bst_children  # type: ignore[attr-defined]

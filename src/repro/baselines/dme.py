@@ -1,0 +1,205 @@
+"""Deferred-Merge Embedding with exact zero-skew merges (Sec. 2.2).
+
+The classic two-phase algorithm the paper reviews as background and
+departs from:
+
+- *bottom-up*: every sub-tree is represented by a merge segment (a
+  Manhattan arc of candidate merge locations); merging two sub-trees
+  computes the tapping ratio ``x`` of Eq. 2.5 that equalizes the Elmore
+  delays of both sides, producing the next merge segment. When no point
+  on the straight connection balances the delays (x outside [0, 1]), the
+  merge sits on the slower side's segment and the other wire is extended
+  (wire snaking) by solving the resulting quadratic.
+- *top-down*: exact merge locations are chosen nearest to the already
+  embedded parent, honoring the recorded wire lengths.
+
+The output tree is unbuffered and zero-skew **under the Elmore model** —
+exactly the kind of result whose "true" (simulated) skew and slew the
+paper shows to be inadequate, motivating the library-driven flow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geom.manhattan_arc import ManhattanArc, merge_arc
+from repro.geom.point import Point, centroid
+from repro.tech.technology import Technology
+from repro.tree.clocktree import ClockTree
+from repro.tree.nodes import TreeNode, make_merge, make_sink
+
+
+def zero_skew_merge_point(
+    t1: float,
+    t2: float,
+    c1: float,
+    c2: float,
+    distance: float,
+    alpha: float,
+    beta: float,
+) -> float:
+    """Tsay's tapping ratio (Eq. 2.5 of the paper).
+
+    ``alpha``/``beta`` are wire unit resistance/capacitance; returns the
+    (possibly out-of-range) ratio ``x`` so the merge point sits ``x *
+    distance`` from sub-tree 1.
+    """
+    if distance <= 0:
+        raise ValueError("distance must be positive")
+    denom = alpha * distance * (c1 + c2 + beta * distance)
+    if denom == 0:
+        return 0.5
+    return ((t2 - t1) + alpha * distance * (c2 + beta * distance / 2.0)) / denom
+
+
+def _closest_point_between(arc: ManhattanArc, other: ManhattanArc) -> Point:
+    """The point of ``arc`` nearest to ``other`` (closest-approach tap)."""
+    best_t, best_d = 0.0, float("inf")
+    for i in range(9):
+        t = i / 8.0
+        d = other.distance_to_point(arc.sample(t))
+        if d < best_d:
+            best_t, best_d = t, d
+    return arc.sample(best_t)
+
+
+def _extension_length(
+    t_fast: float, t_slow: float, c_fast: float, alpha: float, beta: float
+) -> float:
+    """Wire length that delays the fast side by ``t_slow - t_fast``.
+
+    Solves ``alpha * l * (beta * l / 2 + c_fast) = t_slow - t_fast``.
+    """
+    need = t_slow - t_fast
+    if need <= 0:
+        return 0.0
+    a = alpha * beta / 2.0
+    b = alpha * c_fast
+    disc = b * b + 4.0 * a * need
+    return (-b + math.sqrt(disc)) / (2.0 * a)
+
+
+@dataclass
+class _MergeState:
+    """Bottom-up bookkeeping for one sub-tree."""
+
+    arc: ManhattanArc
+    delay: float  # Elmore delay from the merge segment to any sink
+    cap: float  # downstream capacitance
+    node: TreeNode  # tree node (location fixed top-down later)
+    edge_lengths: tuple[float, float] | None  # wire lengths to children
+
+
+class DMESynthesizer:
+    """Classic DME zero-skew synthesis (unbuffered baseline)."""
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+        self.alpha = tech.wire.resistance_per_unit
+        self.beta = tech.wire.capacitance_per_unit
+
+    # ------------------------------------------------------------------
+
+    def synthesize(self, sinks: list[tuple[Point, float]]) -> ClockTree:
+        states = [
+            _MergeState(
+                ManhattanArc.point(pt),
+                0.0,
+                cap,
+                make_sink(pt, cap, name=f"s{i}"),
+                None,
+            )
+            for i, (pt, cap) in enumerate(sinks)
+        ]
+        center = centroid([pt for pt, __ in sinks])
+        while len(states) > 1:
+            states = self._merge_level(states, center)
+        root_state = states[0]
+        root_point = root_state.arc.closest_point_to(center)
+        self._embed(root_state, root_point)
+        return ClockTree.from_network(root_point, root_state.node)
+
+    # ------------------------------------------------------------------
+
+    def _merge_level(
+        self, states: list[_MergeState], center: Point
+    ) -> list[_MergeState]:
+        """Nearest-neighbor pairing (Edahiro-flavored greedy matching)."""
+        remaining = sorted(
+            states,
+            key=lambda s: s.arc.closest_point_to(center).manhattan_to(center),
+            reverse=True,
+        )
+        out: list[_MergeState] = []
+        if len(remaining) % 2 == 1:
+            # Promote the deepest sub-tree unmatched.
+            seed = max(remaining, key=lambda s: s.delay)
+            remaining.remove(seed)
+            out.append(seed)
+        while remaining:
+            anchor = remaining.pop(0)
+            partner = min(remaining, key=lambda s: anchor.arc.distance_to(s.arc))
+            remaining.remove(partner)
+            out.append(self._merge_pair(anchor, partner))
+        return out
+
+    def _merge_pair(self, s1: _MergeState, s2: _MergeState) -> _MergeState:
+        distance = max(s1.arc.distance_to(s2.arc), 1e-9)
+        x = zero_skew_merge_point(
+            s1.delay, s2.delay, s1.cap, s2.cap, distance, self.alpha, self.beta
+        )
+        if 0.0 <= x <= 1.0:
+            d1, d2 = x * distance, (1.0 - x) * distance
+            arc = merge_arc(s1.arc, s2.arc, d1, d2)
+            delay = s1.delay + self._wire_delay(d1, s1.cap)
+        elif x < 0.0:
+            # Side 1 is slower: tap on its segment, extend wire to side 2.
+            # The merge segment collapses to the closest-approach point:
+            # farther points of the slow arc exceed `distance` to the fast
+            # arc and would break the recorded wire-length bookkeeping in
+            # the top-down phase.
+            d1 = 0.0
+            d2 = max(
+                distance,
+                _extension_length(s2.delay, s1.delay, s2.cap, self.alpha, self.beta),
+            )
+            arc = ManhattanArc.point(_closest_point_between(s1.arc, s2.arc))
+            delay = s1.delay
+        else:
+            d2 = 0.0
+            d1 = max(
+                distance,
+                _extension_length(s1.delay, s2.delay, s1.cap, self.alpha, self.beta),
+            )
+            arc = ManhattanArc.point(_closest_point_between(s2.arc, s1.arc))
+            delay = s2.delay
+        node = make_merge(Point(0.0, 0.0))  # located during top-down phase
+        node.children = [s1.node, s2.node]
+        s1.node.parent = node
+        s2.node.parent = node
+        cap = s1.cap + s2.cap + self.beta * (d1 + d2)
+        merged = _MergeState(arc, delay, cap, node, (d1, d2))
+        node._dme_children_states = (s1, s2)  # type: ignore[attr-defined]
+        return merged
+
+    def _wire_delay(self, length: float, load_cap: float) -> float:
+        return self.alpha * length * (self.beta * length / 2.0 + load_cap)
+
+    # ------------------------------------------------------------------
+
+    def _embed(self, state: _MergeState, location: Point) -> None:
+        """Top-down phase: fix exact positions nearest to the parent."""
+        node = state.node
+        node.location = location
+        if state.edge_lengths is None:
+            return
+        s1, s2 = node._dme_children_states  # type: ignore[attr-defined]
+        d1, d2 = state.edge_lengths
+        for child_state, length in ((s1, d1), (s2, d2)):
+            child_point = child_state.arc.closest_point_to(location)
+            child_state.node.wire_to_parent = max(
+                length, location.manhattan_to(child_point)
+            )
+            self._embed(child_state, child_point)
+        del node._dme_children_states  # type: ignore[attr-defined]

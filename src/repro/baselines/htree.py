@@ -1,0 +1,168 @@
+"""Symmetric H-tree clock distribution baseline.
+
+The classic regular alternative the paper's related work mentions
+(symmetric topologies, e.g. Shih & Chang's timing-model-independent
+buffered trees, DAC 2010 [19]): a recursive H fractal spans the die, each
+level halving the span, and every sink attaches to its nearest H-leaf.
+Perfect symmetry gives near-zero skew *to the leaves* by construction —
+the skew then comes from the uneven last-mile attachments, and wirelength
+is spent on covering the die regardless of where the sinks actually are.
+
+Buffering reuses the paper's machinery: each H edge is slew-checked with
+the characterized library and buffers are spliced in where needed, so the
+comparison against the aggressive flow isolates the *topology* choice.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.charlib.build import load_default_library
+from repro.charlib.library import DelaySlewLibrary
+from repro.core.options import CTSOptions
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+from repro.tech.buffers import BufferLibrary
+from repro.tech.presets import cts_buffer_library, default_technology
+from repro.tech.technology import Technology
+from repro.tree.clocktree import ClockTree
+from repro.tree.nodes import (
+    NodeKind,
+    TreeNode,
+    make_buffer,
+    make_sink,
+    make_steiner,
+)
+
+
+@dataclass
+class HTreeResult:
+    tree: ClockTree
+    runtime: float
+    levels: int
+
+
+class HTreeSynthesizer:
+    """Regular buffered H-tree over the sink bounding box."""
+
+    def __init__(
+        self,
+        tech: Technology | None = None,
+        buffers: BufferLibrary | None = None,
+        library: DelaySlewLibrary | None = None,
+        options: CTSOptions | None = None,
+    ):
+        self.tech = tech or default_technology()
+        self.buffers = buffers or cts_buffer_library()
+        self.library = library or load_default_library(self.tech)
+        self.options = options or CTSOptions()
+
+    # ------------------------------------------------------------------
+
+    def synthesize(self, sinks: list[tuple[Point, float]]) -> HTreeResult:
+        t0 = time.time()
+        if not sinks:
+            raise ValueError("need at least one sink")
+        box = BBox.of_points([p for p, __ in sinks])
+        levels = max(1, math.ceil(math.log2(max(len(sinks), 2)) / 2))
+        center = box.center
+        root = make_steiner(center, name="h_root")
+        leaves: list[TreeNode] = []
+        self._grow(root, box.width / 2.0, box.height / 2.0, levels, leaves)
+
+        # Attach every sink to its nearest leaf tap.
+        sink_nodes = [make_sink(p, c, name=f"s{i}") for i, (p, c) in enumerate(sinks)]
+        for node in sink_nodes:
+            leaf = min(leaves, key=lambda l: l.location.manhattan_to(node.location))
+            self._attach_with_buffers(leaf, node)
+        self._prune_empty(root)
+        tree = ClockTree.from_network(center, root, 0.0)
+        return HTreeResult(tree, time.time() - t0, levels)
+
+    # ------------------------------------------------------------------
+
+    def _grow(
+        self,
+        node: TreeNode,
+        half_w: float,
+        half_h: float,
+        levels: int,
+        leaves: list[TreeNode],
+    ) -> None:
+        """One H per level: horizontal bar, two vertical bars, recurse."""
+        if levels == 0:
+            leaves.append(node)
+            return
+        x, y = node.location.x, node.location.y
+        for dx in (-half_w / 2.0, half_w / 2.0):
+            arm = make_steiner(Point(x + dx, y))
+            self._splice_buffered_wire(node, arm)
+            for dy in (-half_h / 2.0, half_h / 2.0):
+                tip = make_steiner(Point(x + dx, y + dy))
+                self._splice_buffered_wire(arm, tip)
+                self._grow(tip, half_w / 2.0, half_h / 2.0, levels - 1, leaves)
+
+    def _attach_with_buffers(self, leaf: TreeNode, sink: TreeNode) -> None:
+        self._splice_buffered_wire(leaf, sink)
+
+    def _splice_buffered_wire(self, parent: TreeNode, child: TreeNode) -> None:
+        """Connect parent->child, inserting buffers per the slew target.
+
+        The wire is cut into slew-feasible segments using the same
+        library-driven rule as the aggressive flow's path builder.
+        """
+        target = self.options.target_slew
+        load_name = (
+            child.buffer.name
+            if child.kind is NodeKind.BUFFER
+            else self.library.load_name_for_cap(
+                child.cap if child.kind is NodeKind.SINK else 2e-15
+            )
+        )
+        total = parent.location.manhattan_to(child.location)
+        node = child
+        remaining = total
+        while remaining > 0:
+            best_len, best_type = 0.0, self.buffers.by_size()[-1].name
+            for name in self.library.buffer_names:
+                lo, hi = 0.0, min(
+                    remaining, self.library.max_single_length(name, load_name)
+                )
+                for _ in range(20):
+                    mid = (lo + hi) / 2.0
+                    slew = self.library.single_wire(
+                        name, load_name, target, mid
+                    ).wire_slew
+                    if slew <= target:
+                        lo = mid
+                    else:
+                        hi = mid
+                if lo > best_len:
+                    best_len, best_type = lo, name
+            if best_len >= remaining - 1e-9:
+                break  # the rest is slew-clean without another buffer
+            cut = remaining - best_len
+            frac = cut / total
+            point = parent.location.lerp(child.location, frac)
+            buf = make_buffer(point, self.buffers[best_type])
+            buf.attach(node, max(best_len, point.manhattan_to(node.location)))
+            node = buf
+            load_name = best_type
+            remaining = cut
+        parent.attach(node, max(remaining, parent.location.manhattan_to(node.location)))
+
+    def _prune_empty(self, root: TreeNode) -> None:
+        """Remove H branches that ended up serving no sink."""
+        changed = True
+        while changed:
+            changed = False
+            for node in list(root.walk()):
+                if (
+                    node is not root
+                    and not node.children
+                    and node.kind in (NodeKind.STEINER, NodeKind.BUFFER)
+                ):
+                    node.detach()
+                    changed = True

@@ -1,0 +1,42 @@
+"""Benchmark instances: parsers and synthetic generators.
+
+The paper evaluates on the GSRC Bookshelf BST benchmarks (r1-r5) and the
+ISPD 2009 clock network synthesis contest benchmarks. Neither archive is
+redistributable here, so this package provides:
+
+- parsers for the published file formats (drop the real files in and they
+  load);
+- seeded synthetic generators producing instances with the *published*
+  sink counts and chip dimensions (DESIGN.md documents the substitution);
+- a neutral :class:`BenchmarkInstance` the rest of the library consumes.
+"""
+
+from repro.benchio.instance import BenchmarkInstance, Sink
+from repro.benchio.generator import random_instance, clustered_instance
+from repro.benchio.gsrc import (
+    GSRC_SINK_COUNTS,
+    gsrc_instance,
+    gsrc_suite,
+    parse_gsrc,
+)
+from repro.benchio.ispd import (
+    ISPD_SINK_COUNTS,
+    ispd_instance,
+    ispd_suite,
+    parse_ispd,
+)
+
+__all__ = [
+    "BenchmarkInstance",
+    "Sink",
+    "random_instance",
+    "clustered_instance",
+    "GSRC_SINK_COUNTS",
+    "gsrc_instance",
+    "gsrc_suite",
+    "parse_gsrc",
+    "ISPD_SINK_COUNTS",
+    "ispd_instance",
+    "ispd_suite",
+    "parse_ispd",
+]

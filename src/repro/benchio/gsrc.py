@@ -1,0 +1,84 @@
+"""GSRC Bookshelf BST benchmarks (r1-r5): parser + synthetic stand-ins.
+
+The real archive (vlsicad.ucsd.edu GSRC bookshelf, Bounded-Skew Clock
+Tree slot) is not redistributable/offline; :func:`gsrc_instance` generates
+seeded instances with the published sink counts on a 69k x 69k die — the
+r-series' footprint — and sink caps in the library-compatible range.
+:func:`parse_gsrc` reads the bookshelf-style sink list so the real files
+can be dropped in transparently.
+
+Format accepted by the parser (one sink per line, ``#`` comments)::
+
+    NumSinks : 267
+    sink0 x y cap
+    ...
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.benchio.generator import random_instance
+from repro.benchio.instance import BenchmarkInstance, Sink
+from repro.geom.point import Point
+
+#: Published sink counts of the GSRC r-series (Table 5.1 of the paper).
+GSRC_SINK_COUNTS = {"r1": 267, "r2": 598, "r3": 862, "r4": 1903, "r5": 3101}
+
+#: Die span used by the synthetic stand-ins (r-series footprint, units).
+GSRC_AREA = 69000.0
+
+_GSRC_SEEDS = {"r1": 101, "r2": 102, "r3": 103, "r4": 104, "r5": 105}
+
+
+def gsrc_instance(name: str) -> BenchmarkInstance:
+    """A synthetic stand-in for one GSRC benchmark (r1..r5)."""
+    if name not in GSRC_SINK_COUNTS:
+        raise KeyError(f"unknown GSRC benchmark {name!r}; have {sorted(GSRC_SINK_COUNTS)}")
+    inst = random_instance(
+        GSRC_SINK_COUNTS[name],
+        GSRC_AREA,
+        seed=_GSRC_SEEDS[name],
+        name=name,
+    )
+    inst.meta["suite"] = "gsrc-synthetic"
+    return inst
+
+
+def gsrc_suite() -> list[BenchmarkInstance]:
+    """All five r-series stand-ins, in published order."""
+    return [gsrc_instance(name) for name in GSRC_SINK_COUNTS]
+
+
+def parse_gsrc(path: str | Path, name: str | None = None) -> BenchmarkInstance:
+    """Parse a bookshelf-style sink list (see module docstring)."""
+    path = Path(path)
+    declared = None
+    sinks: list[Sink] = []
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ":" in line:
+            key, __, value = line.partition(":")
+            if key.strip().lower() in ("numsinks", "num_sinks", "sinks"):
+                declared = int(value.strip())
+            continue
+        parts = line.split()
+        if len(parts) == 4:
+            sink_name, x, y, cap = parts
+        elif len(parts) == 3:
+            sink_name = f"s{len(sinks)}"
+            x, y, cap = parts
+        else:
+            raise ValueError(f"{path}: malformed sink line {line!r}")
+        sinks.append(Sink(sink_name, Point(float(x), float(y)), float(cap)))
+    if declared is not None and declared != len(sinks):
+        raise ValueError(
+            f"{path}: declared {declared} sinks but found {len(sinks)}"
+        )
+    return BenchmarkInstance(
+        name=name or path.stem,
+        sinks=sinks,
+        meta={"suite": "gsrc-file", "path": str(path)},
+    )

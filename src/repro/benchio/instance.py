@@ -1,0 +1,76 @@
+"""The neutral benchmark-instance container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+
+
+@dataclass(frozen=True)
+class Sink:
+    """One clock sink: a location and a load capacitance."""
+
+    name: str
+    location: Point
+    cap: float  # Farad
+
+    def as_pair(self) -> tuple[Point, float]:
+        return (self.location, self.cap)
+
+
+@dataclass
+class BenchmarkInstance:
+    """A named set of clock sinks plus optional blockages and metadata."""
+
+    name: str
+    sinks: list[Sink]
+    source: Point | None = None  # suggested clock-source location
+    blockages: list[BBox] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"benchmark {self.name!r} has no sinks")
+        names = [s.name for s in self.sinks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"benchmark {self.name!r} has duplicate sink names")
+
+    @property
+    def n_sinks(self) -> int:
+        return len(self.sinks)
+
+    def sink_pairs(self) -> list[tuple[Point, float]]:
+        """The (location, cap) list the synthesis API consumes."""
+        return [s.as_pair() for s in self.sinks]
+
+    def bbox(self) -> BBox:
+        return BBox.of_points([s.location for s in self.sinks])
+
+    def scaled_down(self, n_sinks: int, seed: int = 0) -> "BenchmarkInstance":
+        """A reduced copy with ``n_sinks`` randomly sampled sinks.
+
+        Used by the default (CI-speed) benchmark runs; the full published
+        sink counts run under ``REPRO_FULL=1``.
+        """
+        import numpy as np
+
+        if n_sinks >= self.n_sinks:
+            return self
+        rng = np.random.default_rng(seed)
+        idx = sorted(rng.choice(self.n_sinks, size=n_sinks, replace=False))
+        return BenchmarkInstance(
+            name=f"{self.name}@{n_sinks}",
+            sinks=[self.sinks[i] for i in idx],
+            source=self.source,
+            blockages=list(self.blockages),
+            meta={**self.meta, "scaled_from": self.n_sinks},
+        )
+
+    def __repr__(self) -> str:
+        box = self.bbox()
+        return (
+            f"<BenchmarkInstance {self.name}: {self.n_sinks} sinks,"
+            f" {box.width:.0f}x{box.height:.0f}>"
+        )

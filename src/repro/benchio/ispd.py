@@ -1,0 +1,120 @@
+"""ISPD 2009 clock-network-synthesis benchmarks: parser + stand-ins.
+
+The contest archive is offline-unavailable; :func:`ispd_instance`
+generates seeded instances with the published sink counts. The ISPD dies
+are much larger than the GSRC r-series — the paper: "these benchmarks
+have large areas and it is very challenging to control slew" — so the
+stand-in areas are scaled per benchmark to land the synthesized latencies
+in the same ordering as the paper's Table 5.2 (f22 smallest ... fnb1
+largest). Sinks are clustered (register banks), as in the contest chips.
+
+:func:`parse_ispd` reads a simplified version of the contest format::
+
+    num sink 121
+    1 4250000 2550000 35
+    ...
+    num blockage 2
+    x1 y1 x2 y2
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.benchio.generator import clustered_instance
+from repro.benchio.instance import BenchmarkInstance, Sink
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+
+#: Published sink counts (Table 5.2 of the paper).
+ISPD_SINK_COUNTS = {
+    "f11": 121,
+    "f12": 117,
+    "f21": 117,
+    "f22": 91,
+    "f31": 273,
+    "f32": 190,
+    "fnb1": 330,
+}
+
+#: Stand-in die spans (layout units), ordered like the paper's latencies.
+ISPD_AREAS = {
+    "f11": 110000.0,
+    "f12": 95000.0,
+    "f21": 105000.0,
+    "f22": 80000.0,
+    "f31": 200000.0,
+    "f32": 165000.0,
+    "fnb1": 220000.0,
+}
+
+_ISPD_SEEDS = {name: 200 + i for i, name in enumerate(ISPD_SINK_COUNTS)}
+
+
+def ispd_instance(name: str) -> BenchmarkInstance:
+    """A synthetic stand-in for one ISPD-2009 benchmark."""
+    if name not in ISPD_SINK_COUNTS:
+        raise KeyError(
+            f"unknown ISPD benchmark {name!r}; have {sorted(ISPD_SINK_COUNTS)}"
+        )
+    inst = clustered_instance(
+        ISPD_SINK_COUNTS[name],
+        ISPD_AREAS[name],
+        n_clusters=max(4, ISPD_SINK_COUNTS[name] // 30),
+        seed=_ISPD_SEEDS[name],
+        name=name,
+    )
+    inst.meta["suite"] = "ispd-synthetic"
+    return inst
+
+
+def ispd_suite() -> list[BenchmarkInstance]:
+    """All seven contest stand-ins, in published order."""
+    return [ispd_instance(name) for name in ISPD_SINK_COUNTS]
+
+
+def parse_ispd(path: str | Path, name: str | None = None) -> BenchmarkInstance:
+    """Parse the simplified contest format (see module docstring)."""
+    path = Path(path)
+    sinks: list[Sink] = []
+    blockages: list[BBox] = []
+    mode = None
+    expected = 0
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith("num "):
+            parts = lowered.split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}: malformed header {line!r}")
+            mode = parts[1]
+            expected = int(parts[2])
+            continue
+        parts = line.split()
+        if mode == "sink":
+            if len(parts) == 4:
+                sink_name, x, y, cap = parts
+            else:
+                raise ValueError(f"{path}: malformed sink line {line!r}")
+            # Contest caps are in fF.
+            sinks.append(
+                Sink(f"s{sink_name}", Point(float(x), float(y)), float(cap) * 1e-15)
+            )
+        elif mode == "blockage":
+            if len(parts) != 4:
+                raise ValueError(f"{path}: malformed blockage line {line!r}")
+            x1, y1, x2, y2 = map(float, parts)
+            blockages.append(BBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)))
+        else:
+            raise ValueError(f"{path}: data before a 'num' header: {line!r}")
+    inst = BenchmarkInstance(
+        name=name or path.stem,
+        sinks=sinks,
+        blockages=blockages,
+        meta={"suite": "ispd-file", "path": str(path)},
+    )
+    if expected and mode == "blockage" and len(blockages) != expected:
+        raise ValueError(f"{path}: blockage count mismatch")
+    return inst

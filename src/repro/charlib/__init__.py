@@ -1,0 +1,48 @@
+"""SPICE-characterized delay/slew library (Chapter 3 of the paper).
+
+The library pre-characterizes two component shapes with the mini-SPICE
+substrate and fits polynomial response surfaces, exactly as the paper does
+with HSPICE + MATLAB surface fitting:
+
+- **single-wire** components (driving buffer -> wire -> load buffer):
+  buffer intrinsic delay, wire delay and wire output slew as 3rd/4th-order
+  polynomial surfaces of (input slew, wire length), one set per
+  (driving buffer type, load buffer type) combination;
+- **branch** components (driving buffer -> stem -> two branches):
+  hyperplane (multi-variable polynomial) fits over (input slew, stem
+  length, branch lengths, branch load caps), one set per driving buffer.
+
+Realistic *curved* input waveforms are produced the same way as the
+paper's Fig. 3.3 setup: an ideal ramp drives an input-shaping buffer
+through an adjustable wire, and the resulting buffer-output waveform
+drives the component under test.
+"""
+
+from repro.charlib.fitting import PolynomialFit, FitQuality
+from repro.charlib.library import (
+    DelaySlewLibrary,
+    SingleWireTiming,
+    BranchTiming,
+)
+from repro.charlib.sweep import (
+    CharConfig,
+    InputShaper,
+    characterize_single_wire,
+    characterize_branch,
+)
+from repro.charlib.build import build_library, load_default_library, default_library_path
+
+__all__ = [
+    "PolynomialFit",
+    "FitQuality",
+    "DelaySlewLibrary",
+    "SingleWireTiming",
+    "BranchTiming",
+    "CharConfig",
+    "InputShaper",
+    "characterize_single_wire",
+    "characterize_branch",
+    "build_library",
+    "load_default_library",
+    "default_library_path",
+]

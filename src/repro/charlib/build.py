@@ -1,0 +1,151 @@
+"""Library construction: run the sweeps, fit the surfaces, cache to JSON."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.charlib.fitting import PolynomialFit
+from repro.charlib.library import BufferMeta, DelaySlewLibrary
+from repro.charlib.sweep import (
+    BranchSample,
+    CharConfig,
+    InputShaper,
+    SingleWireSample,
+    characterize_branch,
+    characterize_single_wire,
+)
+from repro.tech.buffers import BufferLibrary
+from repro.tech.presets import cts_buffer_library, default_technology
+from repro.tech.technology import Technology
+
+_SINGLE_VARS = ["input_slew", "length"]
+_BRANCH_VARS = [
+    "input_slew",
+    "stem_length",
+    "left_length",
+    "right_length",
+    "left_cap",
+    "right_cap",
+]
+
+
+def _fit_single(
+    samples: list[SingleWireSample], degree: int
+) -> dict[str, PolynomialFit]:
+    x = np.array([[s.input_slew, s.length] for s in samples])
+    fits = {}
+    for fn in ("buffer_delay", "wire_delay", "wire_slew"):
+        y = np.array([getattr(s, fn) for s in samples])
+        fits[fn] = PolynomialFit.fit(x, y, degree, var_names=_SINGLE_VARS)
+    return fits
+
+
+def _fit_branch(samples: list[BranchSample], degree: int) -> dict[str, PolynomialFit]:
+    x = np.array(
+        [
+            [
+                s.input_slew,
+                s.stem_length,
+                s.left_length,
+                s.right_length,
+                s.left_cap,
+                s.right_cap,
+            ]
+            for s in samples
+        ]
+    )
+    fits = {}
+    for fn in ("buffer_delay", "left_delay", "right_delay", "left_slew", "right_slew"):
+        y = np.array([getattr(s, fn) for s in samples])
+        fits[fn] = PolynomialFit.fit(x, y, degree, var_names=_BRANCH_VARS)
+    return fits
+
+
+def build_library(
+    tech: Technology | None = None,
+    buffers: BufferLibrary | None = None,
+    config: CharConfig | None = None,
+    verbose: bool = False,
+) -> DelaySlewLibrary:
+    """Characterize every buffer combination and fit the library."""
+    tech = tech or default_technology()
+    buffers = buffers or cts_buffer_library()
+    config = config or CharConfig()
+    t0 = time.time()
+    single: dict[tuple[str, str], dict[str, PolynomialFit]] = {}
+    branch: dict[str, dict[str, PolynomialFit]] = {}
+    rng = np.random.default_rng(config.seed)
+    for drive in buffers:
+        shaper = InputShaper(tech, drive, config)
+        for load in buffers:
+            samples = characterize_single_wire(tech, drive, load, config, shaper)
+            single[(drive.name, load.name)] = _fit_single(
+                samples, config.single_degree
+            )
+            if verbose:
+                q = single[(drive.name, load.name)]["wire_slew"].quality
+                print(
+                    f"  single {drive.name}->{load.name}: {len(samples)} pts, "
+                    f"slew fit rms {q.rms_error * 1e12:.2f} ps"
+                )
+        branch_samples = characterize_branch(tech, drive, config, shaper, rng)
+        branch[drive.name] = _fit_branch(branch_samples, config.branch_degree)
+        if verbose:
+            q = branch[drive.name]["left_slew"].quality
+            print(
+                f"  branch {drive.name}: {len(branch_samples)} pts, "
+                f"left slew fit rms {q.rms_error * 1e12:.2f} ps"
+            )
+    metas = [
+        BufferMeta(b.name, b.size, b.input_cap(tech)) for b in buffers
+    ]
+    meta = {
+        "built_in_seconds": round(time.time() - t0, 1),
+        "config": {
+            "dt": config.dt,
+            "source_slew": config.source_slew,
+            "single_degree": config.single_degree,
+            "branch_degree": config.branch_degree,
+            "branch_samples": config.branch_samples,
+            "seed": config.seed,
+        },
+    }
+    return DelaySlewLibrary(tech.name, metas, single, branch, meta)
+
+
+def default_library_path(tech: Technology | None = None) -> Path:
+    """Location of the packaged prebuilt library JSON."""
+    tech = tech or default_technology()
+    data_dir = Path(__file__).resolve().parent.parent / "data"
+    return data_dir / f"library_{tech.name}.json"
+
+
+_DEFAULT_CACHE: dict[str, DelaySlewLibrary] = {}
+
+
+def load_default_library(
+    tech: Technology | None = None,
+    rebuild: bool = False,
+    verbose: bool = False,
+) -> DelaySlewLibrary:
+    """Load the packaged library for ``tech``, building it if absent.
+
+    The repository ships a prebuilt JSON for the default technology so
+    users (and the test suite) never pay the characterization cost; pass
+    ``rebuild=True`` to re-run the sweeps from scratch.
+    """
+    tech = tech or default_technology()
+    path = default_library_path(tech)
+    if not rebuild and tech.name in _DEFAULT_CACHE:
+        return _DEFAULT_CACHE[tech.name]
+    if path.exists() and not rebuild:
+        lib = DelaySlewLibrary.load(path)
+    else:
+        lib = build_library(tech, verbose=verbose)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lib.save(path)
+    _DEFAULT_CACHE[tech.name] = lib
+    return lib

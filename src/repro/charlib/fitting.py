@@ -1,0 +1,211 @@
+"""Least-squares polynomial response-surface fitting.
+
+Implements the paper's "surface fitting" (two variables, 3rd/4th order)
+and "hyperplane fitting" (more variables, used for branch components) as
+one generic n-variable polynomial least-squares fit with input
+normalization and range clamping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FitQuality:
+    """Residual statistics of a fit, on the training data."""
+
+    rms_error: float
+    max_error: float
+    r_squared: float
+
+    def as_dict(self) -> dict:
+        return {
+            "rms_error": self.rms_error,
+            "max_error": self.max_error,
+            "r_squared": self.r_squared,
+        }
+
+
+def _multi_indices(n_vars: int, degree: int) -> list[tuple[int, ...]]:
+    """All exponent tuples with total degree <= ``degree``."""
+    out = []
+    for exps in itertools.product(range(degree + 1), repeat=n_vars):
+        if sum(exps) <= degree:
+            out.append(exps)
+    out.sort(key=lambda e: (sum(e), e))
+    return out
+
+
+class PolynomialFit:
+    """An n-variable polynomial fitted by linear least squares.
+
+    Inputs are affinely normalized to [-1, 1] over the training range for
+    conditioning; queries are clamped to the training range so the
+    polynomial is never extrapolated (the paper's functions are likewise
+    only valid over the characterized slew/length window).
+    """
+
+    def __init__(
+        self,
+        exponents: list[tuple[int, ...]],
+        coeffs: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        quality: FitQuality,
+        var_names: list[str] | None = None,
+    ):
+        self.exponents = exponents
+        self.coeffs = np.asarray(coeffs, dtype=float)
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        self.quality = quality
+        self.var_names = var_names or [f"x{i}" for i in range(len(lo))]
+        if len(self.exponents) != self.coeffs.size:
+            raise ValueError("coefficient/term count mismatch")
+        # Scalar fast path: plain-float structures, precomputed once.
+        self._lo_list = [float(v) for v in self.lo]
+        self._inv_span = [
+            2.0 / (hi_v - lo_v) if hi_v > lo_v else 0.0
+            for lo_v, hi_v in zip(self.lo, self.hi)
+        ]
+        self._hi_list = [float(v) for v in self.hi]
+        self._max_exp = [
+            max(e[v] for e in self.exponents) for v in range(self.n_vars)
+        ]
+        self._terms = [
+            (float(c), [(v, p) for v, p in enumerate(exps) if p > 0])
+            for c, exps in zip(self.coeffs, self.exponents)
+        ]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_vars(self) -> int:
+        return self.lo.size
+
+    def _normalize(self, x: np.ndarray) -> np.ndarray:
+        span = np.where(self.hi > self.lo, self.hi - self.lo, 1.0)
+        clipped = np.clip(x, self.lo, self.hi)
+        return 2.0 * (clipped - self.lo) / span - 1.0
+
+    def _design(self, xn: np.ndarray) -> np.ndarray:
+        """Design matrix for normalized inputs, shape (n_pts, n_terms)."""
+        n_pts = xn.shape[0]
+        cols = np.empty((n_pts, len(self.exponents)))
+        # Precompute powers per variable up to the max needed exponent.
+        max_exp = max(max(e) for e in self.exponents)
+        powers = [np.ones((n_pts, max_exp + 1)) for _ in range(self.n_vars)]
+        for v in range(self.n_vars):
+            for p in range(1, max_exp + 1):
+                powers[v][:, p] = powers[v][:, p - 1] * xn[:, v]
+        for t, exps in enumerate(self.exponents):
+            col = np.ones(n_pts)
+            for v, p in enumerate(exps):
+                if p:
+                    col = col * powers[v][:, p]
+            cols[:, t] = col
+        return cols
+
+    def predict(self, *args: float) -> float:
+        """Evaluate at one point given as scalars (clamped to range).
+
+        This is the synthesis inner-loop entry point, so it avoids numpy
+        overhead entirely: normalized powers are built with plain floats.
+        """
+        if len(args) != self.n_vars:
+            raise ValueError(f"expected {self.n_vars} arguments, got {len(args)}")
+        powers = []
+        for v, value in enumerate(args):
+            lo, hi = self._lo_list[v], self._hi_list[v]
+            clipped = lo if value < lo else hi if value > hi else value
+            xn = (clipped - lo) * self._inv_span[v] - 1.0
+            var_pows = [1.0, xn]
+            for _ in range(self._max_exp[v] - 1):
+                var_pows.append(var_pows[-1] * xn)
+            powers.append(var_pows)
+        total = 0.0
+        for coeff, factors in self._terms:
+            term = coeff
+            for v, p in factors:
+                term *= powers[v][p]
+            total += term
+        return total
+
+    def predict_many(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate at points given as an (n_pts, n_vars) array."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n_vars:
+            raise ValueError(f"expected (n, {self.n_vars}) array, got {x.shape}")
+        return self._design(self._normalize(x)) @ self.coeffs
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        degree: int,
+        var_names: list[str] | None = None,
+        rcond: float | None = None,
+    ) -> "PolynomialFit":
+        """Fit a total-degree-``degree`` polynomial to samples ``(x, y)``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        n_pts, n_vars = x.shape
+        exponents = _multi_indices(n_vars, degree)
+        if n_pts < len(exponents):
+            raise ValueError(
+                f"{n_pts} samples cannot determine {len(exponents)} terms"
+            )
+        lo = x.min(axis=0)
+        hi = x.max(axis=0)
+        stub = cls(
+            exponents,
+            np.zeros(len(exponents)),
+            lo,
+            hi,
+            FitQuality(0.0, 0.0, 1.0),
+            var_names,
+        )
+        design = stub._design(stub._normalize(x))
+        coeffs, *_ = np.linalg.lstsq(design, y, rcond=rcond)
+        pred = design @ coeffs
+        resid = y - pred
+        ss_res = float(np.sum(resid**2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        quality = FitQuality(
+            rms_error=float(np.sqrt(np.mean(resid**2))),
+            max_error=float(np.max(np.abs(resid))) if n_pts else 0.0,
+            r_squared=1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0,
+        )
+        return cls(exponents, coeffs, lo, hi, quality, var_names)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "exponents": [list(e) for e in self.exponents],
+            "coeffs": self.coeffs.tolist(),
+            "lo": self.lo.tolist(),
+            "hi": self.hi.tolist(),
+            "quality": self.quality.as_dict(),
+            "var_names": self.var_names,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolynomialFit":
+        return cls(
+            [tuple(e) for e in data["exponents"]],
+            np.array(data["coeffs"]),
+            np.array(data["lo"]),
+            np.array(data["hi"]),
+            FitQuality(**data["quality"]),
+            data.get("var_names"),
+        )

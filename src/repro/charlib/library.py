@@ -1,0 +1,248 @@
+"""The queryable delay/slew library (Sec. 3.2.3).
+
+"Whenever there is a need to compute delay or slew on a single-wire-type
+or a branched-type component, the set of functions corresponding to the
+specified driving and load buffer types can be used to compute highly
+accurate delay and slew values that are comparable to SPICE simulation
+results."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.charlib.fitting import PolynomialFit
+
+SINGLE_FUNCTIONS = ("buffer_delay", "wire_delay", "wire_slew")
+BRANCH_FUNCTIONS = (
+    "buffer_delay",
+    "left_delay",
+    "right_delay",
+    "left_slew",
+    "right_slew",
+)
+
+
+@dataclass(frozen=True)
+class SingleWireTiming:
+    """Library answer for a single-wire component."""
+
+    buffer_delay: float  # driving buffer intrinsic delay (s)
+    wire_delay: float  # buffer output to load input (s)
+    wire_slew: float  # 10-90 slew at the load input (s)
+
+    @property
+    def total_delay(self) -> float:
+        """Delay from the driving buffer's input to the load's input."""
+        return self.buffer_delay + self.wire_delay
+
+
+@dataclass(frozen=True)
+class BranchTiming:
+    """Library answer for a branch component."""
+
+    buffer_delay: float
+    left_delay: float  # buffer output to left endpoint (s)
+    right_delay: float
+    left_slew: float
+    right_slew: float
+
+    @property
+    def left_total(self) -> float:
+        return self.buffer_delay + self.left_delay
+
+    @property
+    def right_total(self) -> float:
+        return self.buffer_delay + self.right_delay
+
+
+@dataclass(frozen=True)
+class BufferMeta:
+    """Buffer facts the library needs without a Technology object."""
+
+    name: str
+    size: float
+    input_cap: float
+
+
+class DelaySlewLibrary:
+    """Characterized delay/slew functions, indexed by buffer types.
+
+    ``single[(drive, load)]`` holds :data:`SINGLE_FUNCTIONS` fits over
+    (input_slew, length); ``branch[drive]`` holds :data:`BRANCH_FUNCTIONS`
+    fits over (input_slew, stem, left_len, right_len, left_cap, right_cap).
+    """
+
+    def __init__(
+        self,
+        tech_name: str,
+        buffers: list[BufferMeta],
+        single: dict[tuple[str, str], dict[str, PolynomialFit]],
+        branch: dict[str, dict[str, PolynomialFit]],
+        meta: dict | None = None,
+    ):
+        if not buffers:
+            raise ValueError("library needs at least one buffer")
+        self.tech_name = tech_name
+        self.buffers = {b.name: b for b in buffers}
+        self.single = single
+        self.branch = branch
+        self.meta = meta or {}
+        self._check_complete()
+
+    def _check_complete(self) -> None:
+        for drive in self.buffers:
+            for load in self.buffers:
+                if (drive, load) not in self.single:
+                    raise ValueError(f"missing single-wire fits for {(drive, load)}")
+                fits = self.single[(drive, load)]
+                missing = set(SINGLE_FUNCTIONS) - set(fits)
+                if missing:
+                    raise ValueError(f"{(drive, load)} missing fits: {missing}")
+            if drive not in self.branch:
+                raise ValueError(f"missing branch fits for {drive}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def buffer_names(self) -> list[str]:
+        """Buffer names ordered by increasing size."""
+        return sorted(self.buffers, key=lambda n: self.buffers[n].size)
+
+    def input_cap(self, name: str) -> float:
+        return self.buffers[name].input_cap
+
+    def load_name_for_cap(self, cap: float) -> str:
+        """Buffer whose input cap best approximates an arbitrary load cap.
+
+        Implements the paper's sink approximation: "components ending with
+        a sink can be approximated by a component ending with a buffer of
+        similar load capacitance" (Sec. 3.2.1).
+        """
+        return min(
+            self.buffers, key=lambda n: abs(self.buffers[n].input_cap - cap)
+        )
+
+    def single_wire(
+        self, drive: str, load: str, input_slew: float, length: float
+    ) -> SingleWireTiming:
+        """Evaluate the single-wire fits for a (drive, load) combination."""
+        fits = self.single[(drive, load)]
+        return SingleWireTiming(
+            buffer_delay=max(0.0, fits["buffer_delay"].predict(input_slew, length)),
+            wire_delay=max(0.0, fits["wire_delay"].predict(input_slew, length)),
+            wire_slew=max(1e-15, fits["wire_slew"].predict(input_slew, length)),
+        )
+
+    def single_wire_for_cap(
+        self, drive: str, load_cap: float, input_slew: float, length: float
+    ) -> SingleWireTiming:
+        """Single-wire query with an arbitrary capacitive load (e.g. a sink)."""
+        return self.single_wire(
+            drive, self.load_name_for_cap(load_cap), input_slew, length
+        )
+
+    def branch_component(
+        self,
+        drive: str,
+        input_slew: float,
+        stem_length: float,
+        left_length: float,
+        right_length: float,
+        left_cap: float,
+        right_cap: float,
+    ) -> BranchTiming:
+        """Evaluate the branch fits for a driving buffer."""
+        fits = self.branch[drive]
+        args = (input_slew, stem_length, left_length, right_length, left_cap, right_cap)
+        return BranchTiming(
+            buffer_delay=max(0.0, fits["buffer_delay"].predict(*args)),
+            left_delay=max(0.0, fits["left_delay"].predict(*args)),
+            right_delay=max(0.0, fits["right_delay"].predict(*args)),
+            left_slew=max(1e-15, fits["left_slew"].predict(*args)),
+            right_slew=max(1e-15, fits["right_slew"].predict(*args)),
+        )
+
+    def max_single_length(self, drive: str, load: str) -> float:
+        """Longest wire length covered by the (drive, load) fits."""
+        return float(self.single[(drive, load)]["wire_slew"].hi[1])
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def fit_report(self) -> list[dict]:
+        """Fit-quality rows (for EXPERIMENTS.md and the Fig. 3.4/3.6/3.7
+        benches)."""
+        rows = []
+        for (drive, load), fits in sorted(self.single.items()):
+            for fn, fit in fits.items():
+                rows.append(
+                    {
+                        "component": "single",
+                        "drive": drive,
+                        "load": load,
+                        "function": fn,
+                        **fit.quality.as_dict(),
+                    }
+                )
+        for drive, fits in sorted(self.branch.items()):
+            for fn, fit in fits.items():
+                rows.append(
+                    {
+                        "component": "branch",
+                        "drive": drive,
+                        "load": "-",
+                        "function": fn,
+                        **fit.quality.as_dict(),
+                    }
+                )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "tech_name": self.tech_name,
+            "buffers": [
+                {"name": b.name, "size": b.size, "input_cap": b.input_cap}
+                for b in self.buffers.values()
+            ],
+            "single": {
+                f"{drive}|{load}": {fn: fit.to_dict() for fn, fit in fits.items()}
+                for (drive, load), fits in self.single.items()
+            },
+            "branch": {
+                drive: {fn: fit.to_dict() for fn, fit in fits.items()}
+                for drive, fits in self.branch.items()
+            },
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DelaySlewLibrary":
+        buffers = [BufferMeta(**b) for b in data["buffers"]]
+        single = {}
+        for key, fits in data["single"].items():
+            drive, load = key.split("|")
+            single[(drive, load)] = {
+                fn: PolynomialFit.from_dict(f) for fn, f in fits.items()
+            }
+        branch = {
+            drive: {fn: PolynomialFit.from_dict(f) for fn, f in fits.items()}
+            for drive, fits in data["branch"].items()
+        }
+        return cls(data["tech_name"], buffers, single, branch, data.get("meta"))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DelaySlewLibrary":
+        return cls.from_dict(json.loads(Path(path).read_text()))

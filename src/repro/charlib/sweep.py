@@ -1,0 +1,175 @@
+"""Characterization sweeps on the mini-SPICE substrate.
+
+Reproduces the paper's measurement setup (Figs. 3.3 and 3.5): an ideal
+ramp drives an input-shaping buffer ``Binput`` through a wire of length
+``Linput``; the resulting *curved* buffer-output waveform is what actually
+stimulates the component under test. Sweeping ``Linput`` produces the
+range of realistic input slews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.stages import branch_spec, simulate_stage, single_wire_spec
+from repro.tech.buffers import BufferType
+from repro.tech.technology import Technology
+from repro.timing.waveform import Waveform, ramp_waveform
+
+
+@dataclass
+class CharConfig:
+    """Sweep/accuracy knobs for library characterization."""
+
+    dt: float = 1.0e-12  # simulation timestep
+    source_slew: float = 60.0e-12  # ideal ramp driving Binput
+    linput_values: tuple[float, ...] = (0.0, 400.0, 1000.0, 1800.0, 2800.0, 4200.0)
+    length_values: tuple[float, ...] = (
+        50.0,
+        300.0,
+        700.0,
+        1200.0,
+        1800.0,
+        2500.0,
+        3200.0,
+        4000.0,
+        5000.0,
+    )
+    # Branch sampling (per driving buffer type).
+    branch_samples: int = 170
+    branch_stem_range: tuple[float, float] = (0.0, 2000.0)
+    branch_length_range: tuple[float, float] = (50.0, 3200.0)
+    # Branch loads cover buffer input caps, sink caps, and the collapsed
+    # caps of small unbuffered merges (bounded by the stage-cap rule).
+    branch_cap_range: tuple[float, float] = (3.0e-15, 24.0e-15)
+    branch_linput_range: tuple[float, float] = (0.0, 4200.0)
+    seed: int = 20100613  # DAC 2010 conference date
+    single_degree: int = 4  # paper: 3rd/4th-order surfaces
+    branch_degree: int = 2  # paper: hyperplane fits in higher dimensions
+
+
+@dataclass
+class SingleWireSample:
+    """One measured point of a single-wire component."""
+
+    input_slew: float
+    length: float
+    buffer_delay: float  # 50% Bdrive input -> 50% Bdrive output
+    wire_delay: float  # 50% Bdrive output -> 50% load input
+    wire_slew: float  # 10-90 at the load input
+
+
+@dataclass
+class BranchSample:
+    """One measured point of a branch component."""
+
+    input_slew: float
+    stem_length: float
+    left_length: float
+    right_length: float
+    left_cap: float
+    right_cap: float
+    buffer_delay: float
+    left_delay: float  # 50% Bdrive output -> 50% left endpoint
+    right_delay: float
+    left_slew: float
+    right_slew: float
+
+
+class InputShaper:
+    """Produces realistic curved input waveforms (the paper's Binput).
+
+    The waveform at the component input for a given ``Linput`` is computed
+    once and cached; the measured input slew is cached with it.
+    """
+
+    def __init__(self, tech: Technology, binput: BufferType, config: CharConfig):
+        self.tech = tech
+        self.binput = binput
+        self.config = config
+        self._cache: dict[tuple[float, float], tuple[Waveform, float]] = {}
+
+    def shaped_input(self, linput: float, load_cap: float) -> tuple[Waveform, float]:
+        """Waveform (and its measured slew) after Binput + Linput wire."""
+        key = (round(linput, 3), round(load_cap * 1e18, 3))
+        if key not in self._cache:
+            source = ramp_waveform(
+                self.tech.vdd, self.config.source_slew, t_start=50.0e-12
+            )
+            spec = single_wire_spec(self.binput, linput, load_cap)
+            sim = simulate_stage(self.tech, spec, source, dt=self.config.dt)
+            wave = sim.trimmed_waveform(1)
+            slew = sim.slew_at(1)
+            self._cache[key] = (wave, slew)
+        return self._cache[key]
+
+
+def characterize_single_wire(
+    tech: Technology,
+    drive: BufferType,
+    load: BufferType,
+    config: CharConfig,
+    shaper: InputShaper | None = None,
+) -> list[SingleWireSample]:
+    """Sweep (Linput, L) for one (drive, load) combination (Fig. 3.3)."""
+    shaper = shaper or InputShaper(tech, drive, config)
+    load_cap = load.input_cap(tech)
+    samples = []
+    for linput in config.linput_values:
+        wave, slew_in = shaper.shaped_input(linput, drive.input_cap(tech))
+        for length in config.length_values:
+            spec = single_wire_spec(drive, length, load_cap)
+            sim = simulate_stage(tech, spec, wave, dt=config.dt)
+            buffer_delay = sim.buffer_delay()
+            samples.append(
+                SingleWireSample(
+                    input_slew=slew_in,
+                    length=length,
+                    buffer_delay=buffer_delay,
+                    wire_delay=sim.delay_to(1) - buffer_delay,
+                    wire_slew=sim.slew_at(1),
+                )
+            )
+    return samples
+
+
+def characterize_branch(
+    tech: Technology,
+    drive: BufferType,
+    config: CharConfig,
+    shaper: InputShaper | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[BranchSample]:
+    """Random-sample branch components for one driving buffer (Fig. 3.5)."""
+    shaper = shaper or InputShaper(tech, drive, config)
+    rng = rng or np.random.default_rng(config.seed)
+    samples = []
+    for _ in range(config.branch_samples):
+        linput = rng.uniform(*config.branch_linput_range)
+        stem = rng.uniform(*config.branch_stem_range)
+        left = rng.uniform(*config.branch_length_range)
+        right = rng.uniform(*config.branch_length_range)
+        cap_l = rng.uniform(*config.branch_cap_range)
+        cap_r = rng.uniform(*config.branch_cap_range)
+        wave, slew_in = shaper.shaped_input(linput, drive.input_cap(tech))
+        spec = branch_spec(drive, left, right, cap_l, cap_r, stem_length=stem)
+        sim = simulate_stage(tech, spec, wave, dt=config.dt)
+        buffer_delay = sim.buffer_delay()
+        samples.append(
+            BranchSample(
+                input_slew=slew_in,
+                stem_length=stem,
+                left_length=left,
+                right_length=right,
+                left_cap=cap_l,
+                right_cap=cap_r,
+                buffer_delay=buffer_delay,
+                left_delay=sim.delay_to(2) - buffer_delay,
+                right_delay=sim.delay_to(3) - buffer_delay,
+                left_slew=sim.slew_at(2),
+                right_slew=sim.slew_at(3),
+            )
+        )
+    return samples

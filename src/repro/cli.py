@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``synthesize``  — run the aggressive-buffered CTS on a benchmark or a
+  generated instance, verify with the mini-SPICE engine, optionally save
+  the tree as JSON/DOT/SPICE netlist.
+- ``characterize`` — (re)build the delay/slew library for a technology.
+- ``bench``       — print one of the paper's tables.
+
+Examples::
+
+    python -m repro synthesize --gsrc r1 --sinks 60
+    python -m repro synthesize --random 40 --area 30000 --json tree.json
+    python -m repro characterize --wire-scale 10
+    python -m repro bench --table 5.2 --scale 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clock tree synthesis under aggressive buffer insertion",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synthesize", help="synthesize and verify a clock tree")
+    source = synth.add_mutually_exclusive_group(required=True)
+    source.add_argument("--gsrc", metavar="NAME", help="GSRC stand-in (r1..r5)")
+    source.add_argument("--ispd", metavar="NAME", help="ISPD stand-in (f11..fnb1)")
+    source.add_argument("--random", type=int, metavar="N", help="random instance")
+    source.add_argument("--file", metavar="PATH", help="parse a benchmark file")
+    synth.add_argument("--sinks", type=int, default=0, help="scale down to N sinks")
+    synth.add_argument("--area", type=float, default=40000.0, help="die span (units)")
+    synth.add_argument("--seed", type=int, default=1)
+    synth.add_argument("--slew-limit", type=float, default=100.0, help="ps")
+    synth.add_argument("--hstructure", choices=["reestimate", "correct"])
+    synth.add_argument("--router", choices=["profile", "maze"], default="profile")
+    synth.add_argument("--eval-dt", type=float, default=1.0, help="sim step (ps)")
+    synth.add_argument("--json", metavar="PATH", help="save tree as JSON")
+    synth.add_argument("--dot", metavar="PATH", help="save tree as Graphviz DOT")
+    synth.add_argument("--spice", metavar="PATH", help="save flat SPICE netlist")
+    synth.add_argument("--no-eval", action="store_true", help="skip verification")
+
+    char = sub.add_parser("characterize", help="(re)build the delay/slew library")
+    char.add_argument("--wire-scale", type=float, default=10.0)
+    char.add_argument("--force", action="store_true", help="rebuild even if cached")
+
+    bench = sub.add_parser("bench", help="print one of the paper's tables")
+    bench.add_argument("--table", choices=["5.1", "5.2", "5.3"], required=True)
+    bench.add_argument("--scale", type=int, default=40, help="sinks per instance")
+    bench.add_argument("--full", action="store_true", help="published sizes")
+    return parser
+
+
+def _load_instance(args):
+    from repro.benchio import gsrc_instance, ispd_instance, random_instance
+    from repro.benchio.gsrc import parse_gsrc
+
+    if args.gsrc:
+        inst = gsrc_instance(args.gsrc)
+    elif args.ispd:
+        inst = ispd_instance(args.ispd)
+    elif args.random:
+        inst = random_instance(args.random, args.area, seed=args.seed)
+    else:
+        inst = parse_gsrc(Path(args.file))
+    if args.sinks:
+        inst = inst.scaled_down(args.sinks, seed=args.seed)
+    return inst
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.core import AggressiveBufferedCTS, CTSOptions
+    from repro.evalx import evaluate_tree
+    from repro.tree.export import save_tree_json, tree_to_dot
+    from repro.tree.netlist_export import tree_netlist
+
+    inst = _load_instance(args)
+    print(f"instance: {inst}")
+    options = CTSOptions(
+        slew_limit=args.slew_limit * 1e-12,
+        hstructure=args.hstructure,
+        router=args.router,
+    )
+    cts = AggressiveBufferedCTS(options=options, blockages=inst.blockages or None)
+    result = cts.synthesize(inst.sink_pairs(), inst.source)
+    print(result.report())
+
+    if not args.no_eval:
+        metrics = evaluate_tree(result.tree, cts.tech, dt=args.eval_dt * 1e-12)
+        print(
+            f"verified: worst slew {metrics.worst_slew * 1e12:.1f} ps"
+            f" (limit {args.slew_limit:.0f}),"
+            f" skew {metrics.skew * 1e12:.1f} ps,"
+            f" latency {metrics.latency * 1e9:.2f} ns"
+        )
+        if metrics.worst_slew > options.slew_limit:
+            print("SLEW CONSTRAINT VIOLATED", file=sys.stderr)
+            return 1
+    if args.json:
+        save_tree_json(result.tree, args.json)
+        print(f"tree saved to {args.json}")
+    if args.dot:
+        Path(args.dot).write_text(tree_to_dot(result.tree))
+        print(f"DOT saved to {args.dot}")
+    if args.spice:
+        Path(args.spice).write_text(tree_netlist(result.tree.root, cts.tech))
+        print(f"SPICE netlist saved to {args.spice}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.charlib import default_library_path, load_default_library
+    from repro.tech import default_technology
+
+    tech = default_technology(wire_scale=args.wire_scale)
+    library = load_default_library(tech, rebuild=args.force, verbose=True)
+    print(f"library for {tech.name}: {len(library.buffer_names)} buffers")
+    print(f"cached at {default_library_path(tech)}")
+    worst = max(row["rms_error"] for row in library.fit_report())
+    print(f"worst fit RMS: {worst * 1e12:.2f} ps")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.evalx.harness import (
+        render_table_5_1,
+        render_table_5_2,
+        render_table_5_3,
+        table_5_1_rows,
+        table_5_2_rows,
+        table_5_3_rows,
+    )
+
+    full = True if args.full else False
+    if args.table == "5.1":
+        print(render_table_5_1(table_5_1_rows(full=full, scale=args.scale)))
+    elif args.table == "5.2":
+        print(render_table_5_2(table_5_2_rows(full=full, scale=args.scale)))
+    else:
+        print(render_table_5_3(table_5_3_rows(full=full, scale=args.scale)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "synthesize": _cmd_synthesize,
+        "characterize": _cmd_characterize,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Binary search stage: slide the merge node to null the delay difference
+(Sec. 4.2.3, Fig. 4.5).
+
+After routing, the two "last fixed nodes" v1 and v2 (the topmost inserted
+buffers, or the sub-tree roots when no buffer was inserted) bound an
+unbuffered span through the tentative meeting point. The merge node M is
+parameterized by the ratio ``r`` of its arc position along that span
+(``r = 0`` at v1) and moved by bisection until the library-timing delay
+difference between the two sides converges — the paper's "top-down timing
+analysis" refinement that out-performs closed-form merge-point formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.point import Point
+from repro.geom.segment import PathPolyline
+from repro.timing.analysis import LibraryTimingEngine, SubtreeBounds
+from repro.tree.nodes import NodeKind, TreeNode
+
+
+@dataclass
+class MergePosition:
+    """Chosen merge-node position and the resulting wire lengths."""
+
+    ratio: float
+    location: Point
+    left_length: float  # wire M -> v1
+    right_length: float  # wire M -> v2
+    delay_difference: float  # estimated at the chosen ratio
+    iterations: int
+
+
+def _side_bounds(
+    engine: LibraryTimingEngine, node: TreeNode, input_slew: float
+) -> SubtreeBounds:
+    if node.kind is NodeKind.BUFFER:
+        return engine.buffer_subtree_bounds(node, input_slew)
+    return engine.subtree_bounds(node, input_slew)
+
+
+def _load_cap(engine: LibraryTimingEngine, node: TreeNode) -> float:
+    return engine._load_cap_of(node)
+
+
+def evaluate_split(
+    engine: LibraryTimingEngine,
+    drive: str,
+    input_slew: float,
+    v1: TreeNode,
+    v2: TreeNode,
+    left_length: float,
+    right_length: float,
+) -> tuple[SubtreeBounds, SubtreeBounds, object]:
+    """Per-side delay bounds of the would-be merge, via the branch fits.
+
+    Returns (left bounds, right bounds, branch timing); the bounds are
+    measured from the merge point M (virtual driver at M, its intrinsic
+    delay excluded, consistent with sub-tree delay bookkeeping).
+    """
+    timing = engine.library.branch_component(
+        drive,
+        input_slew,
+        0.0,
+        left_length,
+        right_length,
+        _load_cap(engine, v1),
+        _load_cap(engine, v2),
+    )
+    below1 = _side_bounds(engine, v1, timing.left_slew)
+    below2 = _side_bounds(engine, v2, timing.right_slew)
+    left = SubtreeBounds(
+        timing.left_delay + below1.min_delay,
+        timing.left_delay + below1.max_delay,
+        max(timing.left_slew, below1.worst_slew),
+    )
+    right = SubtreeBounds(
+        timing.right_delay + below2.min_delay,
+        timing.right_delay + below2.max_delay,
+        max(timing.right_slew, below2.worst_slew),
+    )
+    return left, right, timing
+
+
+def binary_search_merge(
+    engine: LibraryTimingEngine,
+    drive: str,
+    input_slew: float,
+    v1: TreeNode,
+    v2: TreeNode,
+    span: PathPolyline,
+    max_iters: int = 24,
+    tolerance: float = 0.05e-12,
+    enabled: bool = True,
+    slew_target: float | None = None,
+) -> MergePosition:
+    """Find the ratio ``r`` that nulls the side-delay difference.
+
+    ``span`` runs from v1 to v2 through the routed meeting point. The delay
+    difference f(r) = left(r) - right(r) is monotonically increasing in r
+    (more wire on the left side), so plain bisection applies; when even the
+    extremes cannot null the difference the best extreme is returned (the
+    balance stage should have prevented this).
+
+    When ``slew_target`` is given, the chosen ratio is clamped into the
+    window where both branch slews stay within it (slew has priority over
+    residual skew; corrective insertion handles the rare infeasible spans).
+    """
+    total = span.length
+
+    def split_at(r: float):
+        return evaluate_split(
+            engine, drive, input_slew, v1, v2, r * total, (1.0 - r) * total
+        )
+
+    def diff_at(r: float) -> float:
+        left, right, __ = split_at(r)
+        return left.max_delay - right.max_delay
+
+    iterations = 0
+    if not enabled or total <= 0:
+        r = 0.5
+        d = diff_at(r)
+    else:
+        lo, hi = 0.0, 1.0
+        f_lo, f_hi = diff_at(lo), diff_at(hi)
+        iterations = 2
+        if f_lo >= 0:
+            r, d = lo, f_lo  # left side slower even with zero left wire
+        elif f_hi <= 0:
+            r, d = hi, f_hi
+        else:
+            r, d = 0.5, None
+            for _ in range(max_iters):
+                r = (lo + hi) / 2.0
+                d = diff_at(r)
+                iterations += 1
+                if abs(d) < tolerance:
+                    break
+                if d < 0:
+                    lo = r
+                else:
+                    hi = r
+        if slew_target is not None:
+            r, extra = _clamp_to_slew_window(split_at, r, slew_target)
+            iterations += extra
+            d = diff_at(r)
+    return MergePosition(
+        ratio=r,
+        location=span.point_at_length(r * total),
+        left_length=r * total,
+        right_length=(1.0 - r) * total,
+        delay_difference=d,
+        iterations=iterations,
+    )
+
+
+def _clamp_to_slew_window(split_at, r: float, target: float) -> tuple[float, int]:
+    """Clamp ``r`` into the slew-feasible window by bisection.
+
+    Left-branch slew grows with r (longer left wire), right-branch slew
+    shrinks, so the feasible window is an interval [r_min, r_max]; the
+    balanced ratio is clamped into it (or the window midpoint is used when
+    the interval is empty — both sides then need corrective buffers).
+    """
+    __, __, timing = split_at(r)
+    iters = 1
+    if timing.left_slew <= target and timing.right_slew <= target:
+        return r, iters
+    if timing.left_slew > target:
+        # Find r_max: largest r with left slew within target.
+        lo, hi = 0.0, r
+        for _ in range(16):
+            mid = (lo + hi) / 2.0
+            __, __, t = split_at(mid)
+            iters += 1
+            if t.left_slew <= target:
+                lo = mid
+            else:
+                hi = mid
+        return lo, iters
+    # Right slew violated: find r_min, smallest r with right slew ok.
+    lo, hi = r, 1.0
+    for _ in range(16):
+        mid = (lo + hi) / 2.0
+        __, __, t = split_at(mid)
+        iters += 1
+        if t.right_slew <= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi, iters

@@ -1,0 +1,162 @@
+"""Top-level aggressive-buffered clock tree synthesis (Sec. 4.1, Fig. 4.1).
+
+The flow: level 0 holds the sinks; each level pairs the current sub-trees
+with the greedy nearest-neighbor matching and merge-routes every pair,
+optionally running H-structure re-estimation/correction on pairs of
+merge-rooted sub-trees; odd levels promote a max-latency seed node. The
+loop ends when one sub-tree remains, which becomes the network under the
+clock SOURCE.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.charlib.build import load_default_library
+from repro.charlib.library import DelaySlewLibrary
+from repro.core.hstructure import correct_pairing, reestimate_pairing
+from repro.core.merge_routing import MergeRouter, MergeStats
+from repro.core.options import CTSOptions
+from repro.core.topology import EdgeCost, SubTree, greedy_matching
+from repro.geom.bbox import BBox
+from repro.geom.point import Point, centroid
+from repro.tech.buffers import BufferLibrary
+from repro.tech.presets import cts_buffer_library, default_technology
+from repro.tech.technology import Technology
+from repro.timing.analysis import LibraryTimingEngine
+from repro.tree.clocktree import ClockTree
+from repro.tree.nodes import TreeNode, make_sink
+from repro.tree.validate import validate_tree
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized clock tree plus flow diagnostics."""
+
+    tree: ClockTree
+    options: CTSOptions
+    runtime: float
+    n_flippings: int
+    merge_stats: MergeStats
+    levels: int
+
+    def report(self) -> str:
+        stats = self.tree.stats()
+        lines = [
+            f"clock tree: {stats['n_sinks']} sinks, {stats['n_buffers']} buffers,"
+            f" wirelength {stats['wirelength']:.0f} units, {self.levels} levels",
+            f"buffer mix: {stats['buffers']}",
+            f"synthesis time: {self.runtime:.2f} s;"
+            f" flippings: {self.n_flippings};"
+            f" snaked merges: {self.merge_stats.n_snaked}",
+        ]
+        return "\n".join(lines)
+
+
+class AggressiveBufferedCTS:
+    """The paper's synthesis flow, reusable across benchmarks."""
+
+    def __init__(
+        self,
+        tech: Technology | None = None,
+        buffers: BufferLibrary | None = None,
+        library: DelaySlewLibrary | None = None,
+        options: CTSOptions | None = None,
+        blockages: list[BBox] | None = None,
+    ):
+        self.tech = tech or default_technology()
+        self.buffers = buffers or cts_buffer_library()
+        self.library = library or load_default_library(self.tech)
+        self.options = options or CTSOptions()
+        self.engine = LibraryTimingEngine(
+            self.library, self.tech, self.options.virtual_drive
+        )
+        self.router = MergeRouter(
+            self.tech,
+            self.library,
+            self.buffers,
+            self.engine,
+            self.options,
+            blockages,
+        )
+        self._cost = EdgeCost(self.options, self.router._delay_per_unit)
+
+    # ------------------------------------------------------------------
+
+    def synthesize(
+        self,
+        sinks: list[tuple[Point, float]],
+        source_location: Point | None = None,
+    ) -> SynthesisResult:
+        """Synthesize a clock tree over ``(location, capacitance)`` sinks."""
+        if len(sinks) < 1:
+            raise ValueError("need at least one sink")
+        t0 = time.time()
+        level = [self._leaf(pt, cap, i) for i, (pt, cap) in enumerate(sinks)]
+        center = centroid([s.point for s in level])
+        n_flips = 0
+        n_levels = 0
+        while len(level) > 1:
+            n_levels += 1
+            pairs, seed = greedy_matching(level, center, self._cost)
+            next_level: list[SubTree] = [seed] if seed else []
+            for a, b in pairs:
+                merged = self._merge_pair(a, b)
+                n_flips += merged[1]
+                next_level.extend(merged[0])
+            level = next_level
+        root = level[0].root
+        if source_location is None:
+            source_location = root.location
+        root, trunk_wire = self.router.route_trunk(root, source_location)
+        tree = ClockTree.from_network(source_location, root, trunk_wire)
+        if self.options.validate_every_merge:
+            validate_tree(tree.root, expect_source_root=True)
+        return SynthesisResult(
+            tree=tree,
+            options=self.options,
+            runtime=time.time() - t0,
+            n_flippings=n_flips,
+            merge_stats=self.router.stats,
+            levels=n_levels,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _leaf(self, point: Point, cap: float, index: int) -> SubTree:
+        node = make_sink(point, cap, name=f"s{index}")
+        return SubTree(node, self.router.subtree_bounds(node))
+
+    def _subtree(
+        self, root: TreeNode, parts: tuple[TreeNode, TreeNode] | None
+    ) -> SubTree:
+        return SubTree(root, self.router.subtree_bounds(root), parts)
+
+    def _merge_pair(
+        self, a: SubTree, b: SubTree
+    ) -> tuple[list[SubTree], int]:
+        """Merge one matched pair; H-structure checking may split it into
+        two replacement sub-trees that are then merged normally."""
+        mode = self.options.hstructure
+        if mode and a.parts and b.parts:
+            if mode == "reestimate":
+                outcome = reestimate_pairing(self.router, self._cost, a, b)
+            else:
+                outcome = correct_pairing(self.router, a, b)
+            root = self.router.merge(outcome.left_root, outcome.right_root)
+            merged = self._subtree(root, (outcome.left_root, outcome.right_root))
+            return [merged], (1 if outcome.flipped else 0)
+        root = self.router.merge(a.root, b.root)
+        return [self._subtree(root, (a.root, b.root))], 0
+
+
+def synthesize_clock_tree(
+    sinks: list[tuple[Point, float]],
+    tech: Technology | None = None,
+    options: CTSOptions | None = None,
+    **kwargs,
+) -> SynthesisResult:
+    """One-call convenience wrapper around :class:`AggressiveBufferedCTS`."""
+    cts = AggressiveBufferedCTS(tech=tech, options=options, **kwargs)
+    return cts.synthesize(sinks)

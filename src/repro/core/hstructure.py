@@ -1,0 +1,110 @@
+"""H-structure re-estimation and correction (Sec. 4.1.2).
+
+When the top-level matching is about to merge two sub-trees P and Q that
+were themselves produced by merges, their four grandchildren A, B (under
+P) and C, D (under Q) admit three pairings — (A,B)(C,D) [the current one],
+(A,C)(B,D) and (A,D)(B,C) (Fig. 4.2) — and a bad earlier choice shows up
+as an intertwined "H" structure. Two remedies:
+
+- **Method 1 (re-estimation)**: score the six candidate edges with the
+  topology cost function and keep the cheapest pairing; only the chosen
+  pairing is actually merge-routed.
+- **Method 2 (correction)**: merge-route *all* pairings and keep the one
+  whose worse-side skew is smallest; the others are discarded. Best
+  quality, most expensive ("all combinations need to be actually routed
+  rather than simply evaluated by cost functions").
+
+A "flipping" is counted whenever the surviving pairing differs from the
+original (A,B)(C,D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.merge_routing import MergeRouter
+from repro.core.topology import EdgeCost, SubTree
+from repro.tree.nodes import TreeNode
+
+
+@dataclass
+class HStructureOutcome:
+    """Result of examining one (P, Q) pair: two replacement sub-trees."""
+
+    left_root: TreeNode
+    right_root: TreeNode
+    flipped: bool
+
+
+#: The three pairings of grandchildren indices (A, B, C, D) = (0, 1, 2, 3).
+PAIRINGS = (
+    ((0, 1), (2, 3)),  # (A,B)(C,D) — the original
+    ((0, 2), (1, 3)),  # (A,C)(B,D)
+    ((0, 3), (1, 2)),  # (A,D)(B,C)
+)
+
+
+def _free_parts(p: SubTree, q: SubTree) -> list[TreeNode]:
+    """Detach the four grandchildren from the structures above them."""
+    return [part.detach() for part in (*p.parts, *q.parts)]
+
+
+def reestimate_pairing(
+    router: MergeRouter,
+    cost: EdgeCost,
+    p: SubTree,
+    q: SubTree,
+) -> HStructureOutcome:
+    """Method 1: choose the pairing by cost estimate, then route it."""
+    parts = _free_parts(p, q)
+    subtrees = [SubTree(part, router.subtree_bounds(part)) for part in parts]
+
+    def pairing_cost(pairing) -> float:
+        (i, j), (k, l) = pairing
+        return cost(subtrees[i], subtrees[j]) + cost(subtrees[k], subtrees[l])
+
+    best = min(PAIRINGS, key=pairing_cost)
+    (i, j), (k, l) = best
+    left = router.merge(parts[i], parts[j])
+    right = router.merge(parts[k], parts[l])
+    return HStructureOutcome(left, right, best != PAIRINGS[0])
+
+
+def correct_pairing(
+    router: MergeRouter,
+    p: SubTree,
+    q: SubTree,
+) -> HStructureOutcome:
+    """Method 2: route all pairings, keep the lowest worse-side skew.
+
+    Every candidate pairing is actually merge-routed and measured with the
+    timing engine; losers are torn down (the grandchildren detach, the
+    discarded merge structures are dropped). The winner is rebuilt last so
+    the surviving tree contains exactly one routed copy.
+    """
+    parts = _free_parts(p, q)
+    best_idx = 0
+    best_key = None
+    for idx, ((i, j), (k, l)) in enumerate(PAIRINGS):
+        left = router.merge(parts[i], parts[j])
+        right = router.merge(parts[k], parts[l])
+        worse = max(
+            router.subtree_bounds(left).skew, router.subtree_bounds(right).skew
+        )
+        wirelength = (
+            left.downstream_wirelength() + right.downstream_wirelength()
+        )
+        # Primary criterion: worse-side skew, as in the paper. The balance
+        # machinery drives every candidate's estimated skew near zero, so
+        # ties (within half a picosecond) break on wirelength — shorter
+        # trees are the ones without intertwined "H" crossings.
+        key = (round(worse / 0.5e-12), wirelength)
+        for part in parts:
+            part.detach()
+        if best_key is None or key < best_key:
+            best_key = key
+            best_idx = idx
+    (i, j), (k, l) = PAIRINGS[best_idx]
+    left = router.merge(parts[i], parts[j])
+    right = router.merge(parts[k], parts[l])
+    return HStructureOutcome(left, right, best_idx != 0)

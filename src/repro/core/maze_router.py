@@ -1,0 +1,252 @@
+"""Bidirectional maze routing over an explicit grid (Fig. 4.3).
+
+The general router: two BFS wavefronts expand simultaneously from the two
+sub-tree roots across a uniform-pitch routing grid (with optional blocked
+cells); every cell reachable by both fronts carries propagation delay
+information to both sides, and the cell with minimum delay difference is
+picked as the tentative merge location. Buffer insertion along the
+expansion follows the same :class:`~repro.core.segment_builder.PathBuilder`
+logic as the profile router.
+
+With no blockages this reduces exactly to the profile router (delay is a
+function of step distance only); with blockages the BFS distances and the
+backtracked detour paths differ, which is the case this router exists for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.charlib.library import DelaySlewLibrary
+from repro.core.options import CTSOptions
+from repro.core.routing_common import (
+    RoutedPath,
+    RouteResult,
+    RouteTerminal,
+    choose_pitch,
+)
+from repro.core.segment_builder import PathBuilder, SegmentTables
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+from repro.geom.segment import PathPolyline
+
+_UNREACHED = -1
+
+
+class MazeGrid:
+    """A square-pitch routing grid with blocked cells."""
+
+    def __init__(self, bbox: BBox, pitch: float):
+        self.bbox = bbox
+        self.pitch = pitch
+        self.nx = int(np.ceil(bbox.width / pitch)) + 1
+        self.ny = int(np.ceil(bbox.height / pitch)) + 1
+        self.blocked = np.zeros((self.nx, self.ny), dtype=bool)
+
+    def block(self, region: BBox) -> None:
+        """Block every cell whose center lies inside ``region``."""
+        for i in range(self.nx):
+            for j in range(self.ny):
+                if region.contains(self.center(i, j)):
+                    self.blocked[i, j] = True
+
+    def center(self, i: int, j: int) -> Point:
+        return Point(self.bbox.xmin + i * self.pitch, self.bbox.ymin + j * self.pitch)
+
+    def nearest(self, p: Point) -> tuple[int, int]:
+        i = int(round((p.x - self.bbox.xmin) / self.pitch))
+        j = int(round((p.y - self.bbox.ymin) / self.pitch))
+        return (min(max(i, 0), self.nx - 1), min(max(j, 0), self.ny - 1))
+
+    def bfs(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """Step distances and parent indices from ``start`` (4-connected)."""
+        dist = np.full((self.nx, self.ny), _UNREACHED, dtype=int)
+        parent = np.full((self.nx, self.ny), -1, dtype=int)
+        if self.blocked[start]:
+            raise ValueError(f"start cell {start} is blocked")
+        dist[start] = 0
+        queue = deque([start])
+        while queue:
+            i, j = queue.popleft()
+            d = dist[i, j]
+            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < self.nx and 0 <= nj < self.ny:
+                    if not self.blocked[ni, nj] and dist[ni, nj] == _UNREACHED:
+                        dist[ni, nj] = d + 1
+                        parent[ni, nj] = i * self.ny + j
+                        queue.append((ni, nj))
+        return dist, parent
+
+    def backtrack(
+        self, parent: np.ndarray, cell: tuple[int, int]
+    ) -> list[tuple[int, int]]:
+        """Cell sequence from the BFS start to ``cell`` (inclusive)."""
+        path = [cell]
+        i, j = cell
+        while parent[i, j] >= 0:
+            enc = parent[i, j]
+            i, j = divmod(int(enc), self.ny)
+            path.append((i, j))
+        path.reverse()
+        return path
+
+
+def blocked_path(
+    a: Point,
+    b: Point,
+    pitch: float,
+    blockages: list[BBox],
+    margin: float,
+) -> PathPolyline:
+    """Shortest rectilinear path from ``a`` to ``b`` avoiding blockages.
+
+    Used for point-to-point connections outside the merge flow (e.g. the
+    source trunk). The window grows around intersecting blockages the
+    same way :func:`route_maze` does.
+    """
+    bbox = BBox.of_points([a, b]).expanded(margin)
+    for _ in range(4):
+        grid = MazeGrid(bbox, pitch)
+        while grid.nx * grid.ny > 80_000:
+            pitch *= 1.5
+            grid = MazeGrid(bbox, pitch)
+        for region in blockages:
+            grid.block(region)
+        ca, cb = grid.nearest(a), grid.nearest(b)
+        if grid.blocked[ca] or grid.blocked[cb]:
+            raise ValueError("a trunk terminal lies inside a blockage")
+        dist, parent = grid.bfs(ca)
+        if dist[cb] != _UNREACHED:
+            cells = grid.backtrack(parent, cb)
+            points = [a] + [grid.center(i, j) for i, j in cells[1:-1]] + [b]
+            return PathPolyline(_compress_polyline(points))
+        expanded = bbox
+        for region in blockages:
+            if region.intersects(bbox):
+                expanded = expanded.union(region.expanded(2.0 * margin))
+        if expanded.width == bbox.width and expanded.height == bbox.height:
+            break
+        bbox = expanded
+    raise RuntimeError("trunk terminals are disconnected by blockages")
+
+
+def _compress_polyline(points: list[Point]) -> list[Point]:
+    """Drop interior points of collinear (axis-aligned) runs."""
+    if len(points) <= 2:
+        return points
+    out = [points[0]]
+    for prev, cur, nxt in zip(points, points[1:], points[2:]):
+        same_x = prev.x == cur.x == nxt.x
+        same_y = prev.y == cur.y == nxt.y
+        if not (same_x or same_y):
+            out.append(cur)
+    out.append(points[-1])
+    return out
+
+
+def route_maze(
+    term1: RouteTerminal,
+    term2: RouteTerminal,
+    library: DelaySlewLibrary,
+    options: CTSOptions,
+    stage_length: float,
+    blockages: list[BBox] | None = None,
+) -> RouteResult:
+    """Route one merge with bidirectional maze expansion."""
+    p1, p2 = term1.point, term2.point
+    dist = p1.manhattan_to(p2)
+    if dist <= 0:
+        raise ValueError("terminals are coincident; no routing needed")
+    span = max(abs(p1.x - p2.x), abs(p1.y - p2.y), dist / 2.0)
+    pitch, n_cells = choose_pitch(span, options, stage_length)
+    margin = max(1.0, n_cells * options.routing_margin_ratio) * pitch
+    bbox = BBox.of_points([p1, p2]).expanded(margin)
+
+    # A blockage can wall off the default window even though a detour
+    # exists just outside it; grow the window around every intersecting
+    # blockage (and coarsen the pitch if the cell count explodes).
+    grid = None
+    for _ in range(4):
+        grid = MazeGrid(bbox, pitch)
+        while grid.nx * grid.ny > 80_000:
+            pitch *= 1.5
+            grid = MazeGrid(bbox, pitch)
+        for region in blockages or []:
+            grid.block(region)
+        c1, c2 = grid.nearest(p1), grid.nearest(p2)
+        if grid.blocked[c1] or grid.blocked[c2]:
+            raise ValueError("a terminal lies inside a blockage")
+        dist1, parent1 = grid.bfs(c1)
+        dist2, parent2 = grid.bfs(c2)
+        both = (dist1 != _UNREACHED) & (dist2 != _UNREACHED)
+        if both.any():
+            break
+        expanded = bbox
+        for region in blockages or []:
+            if region.intersects(bbox):
+                expanded = expanded.union(region.expanded(2.0 * margin))
+        if (
+            expanded.width == bbox.width
+            and expanded.height == bbox.height
+        ):
+            raise RuntimeError("terminals are disconnected by blockages")
+        bbox = expanded
+    else:
+        raise RuntimeError("terminals are disconnected by blockages")
+
+    max_k = int(max(dist1[both].max(), dist2[both].max()))
+    tables = SegmentTables(library, pitch, max_k + 1, options.target_slew)
+    builders = []
+    for term in (term1, term2):
+        builders.append(
+            PathBuilder(
+                tables,
+                term.base_delay,
+                term.load_name,
+                options.target_slew,
+                library.buffer_names,
+                options.virtual_drive or library.buffer_names[-1],
+                options.sizing_lookahead,
+            )
+        )
+    prof1 = builders[0].delays_up_to(max_k)
+    prof2 = builders[1].delays_up_to(max_k)
+
+    p1_vals = prof1[np.clip(dist1, 0, max_k)]
+    p2_vals = prof2[np.clip(dist2, 0, max_k)]
+    d1 = np.where(both, p1_vals, np.inf)
+    d2 = np.where(both, p2_vals, np.inf)
+    skew = np.where(both, np.abs(p1_vals - p2_vals), np.inf)
+    total = np.maximum(d1, d2)
+    hops = np.where(both, dist1 + dist2, np.iinfo(int).max)
+    order = np.lexsort((hops.ravel(), total.ravel(), np.round(skew.ravel(), 15)))
+    best = order[0]
+    bi, bj = np.unravel_index(best, skew.shape)
+    meeting = grid.center(int(bi), int(bj))
+    kk1, kk2 = int(dist1[bi, bj]), int(dist2[bi, bj])
+
+    def materialize(term, parent, cell, builder, k):
+        cells = grid.backtrack(parent, (int(cell[0]), int(cell[1])))
+        points = [term.point] + [grid.center(i, j) for i, j in cells[1:]]
+        if len(points) == 1:
+            points.append(meeting)
+        return RoutedPath(
+            term,
+            PathPolyline(_compress_polyline(points)),
+            builder.state(k),
+            pitch,
+        )
+
+    left = materialize(term1, parent1, (bi, bj), builders[0], kk1)
+    right = materialize(term2, parent2, (bi, bj), builders[1], kk2)
+    return RouteResult(
+        meeting_point=meeting,
+        left=left,
+        right=right,
+        est_left_delay=float(d1[bi, bj]),
+        est_right_delay=float(d2[bi, bj]),
+        grid_cells=max(grid.nx, grid.ny),
+    )

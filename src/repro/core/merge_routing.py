@@ -1,0 +1,468 @@
+"""Merge-routing: balance -> route -> binary search -> commit (Sec. 4.2).
+
+This module orchestrates one merge of two sub-trees:
+
+1. *balance* — if the delay difference exceeds what the routed path can
+   absorb, wire-snake above the faster root (:mod:`repro.core.balance`);
+2. *route* — bidirectional (profile or maze) routing with slew-driven
+   buffer insertion picks the tentative merge cell
+   (:mod:`repro.core.profile_router` / :mod:`repro.core.maze_router`);
+3. *binary search* — the merge node slides between the last fixed nodes
+   until the timing-engine delay difference nulls
+   (:mod:`repro.core.binary_search`);
+4. *commit* — tree nodes are materialized; branch slews are re-checked
+   with the library and violations fixed by corrective buffer insertion;
+   merges whose collapsed unbuffered capacitance grew too large get a
+   buffer immediately above them (keeping stages library-shaped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charlib.library import DelaySlewLibrary
+from repro.core.balance import snake_delay
+from repro.core.binary_search import binary_search_merge
+from repro.core.maze_router import route_maze
+from repro.core.options import CTSOptions
+from repro.core.profile_router import route_profile
+from repro.core.routing_common import (
+    RoutedPath,
+    RouteResult,
+    RouteTerminal,
+    choose_pitch,
+    l_path,
+    slew_limited_length,
+)
+from repro.core.segment_builder import PathBuilder, SegmentTables
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+from repro.geom.segment import PathPolyline
+from repro.tech.buffers import BufferLibrary, BufferType
+from repro.tech.technology import Technology
+from repro.timing.analysis import LibraryTimingEngine, SubtreeBounds
+from repro.tree.nodes import NodeKind, TreeNode, make_buffer, make_merge
+
+
+@dataclass
+class MergeStats:
+    """Per-merge diagnostics aggregated by the top-level flow."""
+
+    n_merges: int = 0
+    n_snaked: int = 0
+    snaked_delay: float = 0.0
+    n_route_buffers: int = 0
+    n_corrective_buffers: int = 0
+    n_forced_stage_buffers: int = 0
+    binary_search_iters: int = 0
+
+
+class MergeRouter:
+    """Stateful merge-routing engine shared across the whole synthesis."""
+
+    def __init__(
+        self,
+        tech: Technology,
+        library: DelaySlewLibrary,
+        buffers: BufferLibrary,
+        engine: LibraryTimingEngine,
+        options: CTSOptions,
+        blockages: list[BBox] | None = None,
+    ):
+        self.tech = tech
+        self.library = library
+        self.buffers = buffers
+        self.engine = engine
+        self.options = options
+        self.blockages = blockages or []
+        self.stats = MergeStats()
+        self.stage_length = slew_limited_length(library, options.target_slew)
+        largest = library.buffer_names[-1]
+        self.max_stage_cap = options.max_unbuffered_cap_ratio * library.input_cap(
+            largest
+        )
+        self._virtual = options.virtual_drive or library.buffer_names[-1]
+        self._delay_per_unit = self._calibrate_delay_per_unit()
+
+    # ------------------------------------------------------------------
+    # Terminal/bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def subtree_bounds(self, root: TreeNode) -> SubtreeBounds:
+        """Delay bounds of a sub-tree under the slew-target assumption."""
+        return self.engine.subtree_bounds(root, self.options.target_slew)
+
+    def root_stage_cap(self, root: TreeNode) -> float:
+        return self.engine._load_cap_of(root)
+
+    def terminal_for(self, root: TreeNode) -> RouteTerminal:
+        bounds = self.subtree_bounds(root)
+        if root.kind is NodeKind.BUFFER:
+            load_name = root.buffer.name
+        else:
+            load_name = self.library.load_name_for_cap(self.root_stage_cap(root))
+        return RouteTerminal(
+            node=root,
+            point=root.location,
+            base_delay=bounds.max_delay,
+            min_delay=bounds.min_delay,
+            load_name=load_name,
+        )
+
+    def _calibrate_delay_per_unit(self) -> float:
+        """Average routed-path delay per layout unit (for balance checks)."""
+        pitch = self.stage_length / self.options.target_cells_per_stage
+        k = 4 * self.options.target_cells_per_stage
+        tables = SegmentTables(self.library, pitch, k + 1, self.options.target_slew)
+        builder = PathBuilder(
+            tables,
+            0.0,
+            self.library.buffer_names[-1],
+            self.options.target_slew,
+            self.library.buffer_names,
+            self._virtual,
+            self.options.sizing_lookahead,
+        )
+        return builder.state(k).delay / (k * pitch)
+
+    # ------------------------------------------------------------------
+    # The merge itself
+    # ------------------------------------------------------------------
+
+    def merge(self, root1: TreeNode, root2: TreeNode) -> TreeNode:
+        """Merge two sub-trees and return the new root node."""
+        self.stats.n_merges += 1
+        if root1.location.manhattan_to(root2.location) <= 1e-9:
+            return self._merge_coincident(root1, root2)
+        root1, root2 = self._balance(root1, root2)
+        term1 = self.terminal_for(root1)
+        term2 = self.terminal_for(root2)
+        route = self._route(term1, term2)
+        return self._commit(route)
+
+    def _merge_coincident(self, root1: TreeNode, root2: TreeNode) -> TreeNode:
+        merge = make_merge(root1.location)
+        merge.attach(root1, 0.0)
+        merge.attach(root2, 0.0)
+        return self._maybe_force_stage_buffer(merge)
+
+    def _balance(self, root1: TreeNode, root2: TreeNode) -> tuple[TreeNode, TreeNode]:
+        """Wire-snake above the faster root when routing cannot absorb the
+        delay difference (Sec. 4.2.1)."""
+        if not self.options.enable_balance:
+            return root1, root2
+        b1 = self.subtree_bounds(root1)
+        b2 = self.subtree_bounds(root2)
+        dist = root1.location.manhattan_to(root2.location)
+        absorbable = self.options.balance_headroom * self._delay_per_unit * dist
+        diff = b1.max_delay - b2.max_delay
+        shortfall = abs(diff) - absorbable
+        if shortfall <= 0:
+            return root1, root2
+        fast = root2 if diff > 0 else root1
+        result = snake_delay(
+            fast,
+            shortfall,
+            self.library,
+            self.buffers,
+            self.options,
+            self.root_stage_cap(fast),
+        )
+        if result.n_buffers:
+            self.stats.n_snaked += 1
+            self.stats.snaked_delay += result.added_delay
+        if diff > 0:
+            return root1, result.new_root
+        return result.new_root, root2
+
+    def _route(self, term1: RouteTerminal, term2: RouteTerminal) -> RouteResult:
+        if self.options.router == "maze" or self.blockages:
+            return route_maze(
+                term1,
+                term2,
+                self.library,
+                self.options,
+                self.stage_length,
+                self.blockages,
+            )
+        return route_profile(
+            term1, term2, self.library, self.options, self.stage_length
+        )
+
+    def route_trunk(self, root: TreeNode, source_point: Point) -> tuple[TreeNode, float]:
+        """Buffered path from the final tree root to the clock source.
+
+        The source usually does not coincide with the last merge; the
+        trunk is routed with the same slew-driven buffer insertion as any
+        merge path. Returns the new network root (chain top) and the wire
+        length of its connection to the source.
+        """
+        dist = root.location.manhattan_to(source_point)
+        if dist <= 1e-9:
+            return root, 0.0
+        term = self.terminal_for(root)
+        pitch, n_cells = choose_pitch(dist, self.options, self.stage_length)
+        if self.blockages:
+            from repro.core.maze_router import blocked_path
+
+            margin = max(1.0, n_cells * self.options.routing_margin_ratio) * pitch
+            path = blocked_path(
+                root.location, source_point, pitch, self.blockages, margin
+            )
+        else:
+            path = l_path(root.location, source_point)
+        k = max(1, int(round(path.length / pitch)))
+        tables = SegmentTables(self.library, pitch, k + 1, self.options.target_slew)
+        builder = PathBuilder(
+            tables,
+            term.base_delay,
+            term.load_name,
+            self.options.target_slew,
+            self.library.buffer_names,
+            self._virtual,
+            self.options.sizing_lookahead,
+        )
+        routed = RoutedPath(term, path, builder.state(k), pitch)
+        top, arc = self._materialize_chain(routed)
+        remaining = max(path.length - arc, source_point.manhattan_to(top.location))
+        return top, remaining
+
+    # ------------------------------------------------------------------
+    # Materialization and commit
+    # ------------------------------------------------------------------
+
+    def _materialize_chain(self, routed: RoutedPath) -> tuple[TreeNode, float]:
+        """Create the buffer chain of one routed side.
+
+        Returns the topmost node (the "last fixed node") and its arc
+        position along the routed polyline.
+        """
+        node = routed.terminal.node
+        arc_prev = 0.0
+        for placed in routed.state.buffers:
+            arc = min(placed.steps * routed.step, routed.polyline.length)
+            point = routed.polyline.point_at_length(arc)
+            buf = make_buffer(point, self.buffers[placed.type_name])
+            wire = max(arc - arc_prev, node.location.manhattan_to(point))
+            buf.attach(node, wire)
+            node = buf
+            arc_prev = arc
+            self.stats.n_route_buffers += 1
+        return node, arc_prev
+
+    def _commit(self, route: RouteResult) -> TreeNode:
+        v1, arc1 = self._materialize_chain(route.left)
+        v2, arc2 = self._materialize_chain(route.right)
+        span = route.left.polyline.subpath(arc1, route.left.polyline.length).concat(
+            route.right.polyline.subpath(arc2, route.right.polyline.length).reversed()
+        )
+        # Corrective buffer insertion (slew repair) changes one side's
+        # delay after the balance was found, so search, repair and
+        # re-balance iterate; residual imbalance that the span cannot
+        # absorb (search pinned at an extreme) is wire-snaked away.
+        merge = None
+        for round_idx in range(5):
+            position = binary_search_merge(
+                self.engine,
+                self._virtual,
+                self.options.target_slew,
+                v1,
+                v2,
+                span,
+                self.options.binary_search_iters,
+                self.options.binary_search_tol,
+                self.options.enable_binary_search,
+                slew_target=self.options.target_slew,
+            )
+            self.stats.binary_search_iters += position.iterations
+            residual = position.delay_difference
+            pinned = position.ratio <= 1e-9 or position.ratio >= 1.0 - 1e-9
+            if (
+                round_idx < 4
+                and pinned
+                and self.options.enable_balance
+                and abs(residual) > 2.0e-12
+            ):
+                fast = v2 if residual > 0 else v1
+                snaked = snake_delay(
+                    fast,
+                    abs(residual),
+                    self.library,
+                    self.buffers,
+                    self.options,
+                    self.engine._load_cap_of(fast),
+                )
+                if snaked.n_buffers:
+                    self.stats.n_snaked += 1
+                    self.stats.snaked_delay += snaked.added_delay
+                    if residual > 0:
+                        v2 = snaked.new_root
+                    else:
+                        v1 = snaked.new_root
+                    continue
+            merge = make_merge(position.location)
+            merge.attach(
+                v1, max(position.left_length, merge.location.manhattan_to(v1.location))
+            )
+            merge.attach(
+                v2, max(position.right_length, merge.location.manhattan_to(v2.location))
+            )
+            inserted = self._fix_branch_slews(merge)
+            if not inserted or round_idx == 4:
+                break
+            # Re-balance between the new fixed nodes (corrective buffers
+            # or the originals); the old merge node is discarded.
+            new_v1, new_v2 = merge.children
+            v1 = new_v1.detach()
+            v2 = new_v2.detach()
+            mid = merge.location
+            points = [v1.location]
+            if mid != v1.location and mid != v2.location:
+                points.append(mid)
+            points.append(v2.location)
+            span = PathPolyline(points)
+        return self._maybe_force_stage_buffer(merge)
+
+    # ------------------------------------------------------------------
+    # Slew repair and stage-size control
+    # ------------------------------------------------------------------
+
+    def _fix_branch_slews(
+        self, merge: TreeNode, drive: str | None = None, max_rounds: int = 8
+    ) -> int:
+        """Corrective insertion when the merged *branch* violates the target.
+
+        Routing checked each side as a single-wire component; the merged
+        stage is a branch component whose shared driver sees both sides'
+        load, so slews can degrade past the target. Violating sides get a
+        buffer spliced into their final wire, sized/positioned by the same
+        closest-to-target rule as the router.
+        """
+        target = self.options.target_slew
+        drive = drive or self._virtual
+        inserted = 0
+        # Branch fits clamp beyond their trained length range and would be
+        # silently optimistic there; such wires are violations by fiat.
+        branch_hi = float(self.library.branch[drive]["left_slew"].hi[2]) * 1.001
+        for _ in range(max_rounds):
+            left, right = merge.children
+            timing = self.library.branch_component(
+                drive,
+                target,
+                0.0,
+                left.wire_to_parent,
+                right.wire_to_parent,
+                self.engine._load_cap_of(left),
+                self.engine._load_cap_of(right),
+            )
+            left_slew = (
+                float("inf") if left.wire_to_parent > branch_hi else timing.left_slew
+            )
+            right_slew = (
+                float("inf") if right.wire_to_parent > branch_hi else timing.right_slew
+            )
+            worst_side = None
+            if left_slew > target:
+                worst_side = left
+            if right_slew > target and (
+                worst_side is None or right_slew > left_slew
+            ):
+                worst_side = right
+            if worst_side is None:
+                return inserted
+            if not self._split_wire(merge, worst_side):
+                return inserted
+            inserted += 1
+        return inserted
+
+    def _split_wire(self, merge: TreeNode, child: TreeNode) -> bool:
+        """Insert a buffer into the wire merge->child (intelligent sizing)."""
+        total = child.wire_to_parent
+        load_cap = self.engine._load_cap_of(child)
+        load_name = (
+            child.buffer.name
+            if child.kind is NodeKind.BUFFER
+            else self.library.load_name_for_cap(load_cap)
+        )
+        target = self.options.target_slew
+        best: tuple[float, str] | None = None  # (length from child, type)
+        for name in self.library.buffer_names:
+            lo, hi = 0.0, total
+            for _ in range(24):
+                mid = (lo + hi) / 2.0
+                slew = self.library.single_wire(name, load_name, target, mid).wire_slew
+                if slew <= target:
+                    lo = mid
+                else:
+                    hi = mid
+            if best is None or lo > best[0]:
+                best = (lo, name)
+        length, type_name = best
+        length = min(length, total)
+        if length < 0.25 * total:
+            length = 0.5 * total  # guarantee progress even when imperfect
+        frac = length / total if total > 0 else 0.0
+        point = self._nudge_off_blockages(
+            child.location.lerp(merge.location, frac)
+        )
+        child.detach()
+        buf = make_buffer(point, self.buffers[type_name])
+        buf.attach(child, max(length, point.manhattan_to(child.location)))
+        merge.attach(buf, max(total - length, merge.location.manhattan_to(point)))
+        self.stats.n_corrective_buffers += 1
+        return True
+
+    def _nudge_off_blockages(self, point: Point) -> Point:
+        """Move a tentative buffer location just outside any blockage.
+
+        Corrective buffers are positioned by interpolation between merge
+        and child; with blockages the interpolated point can land inside
+        a macro, so it is projected to the nearest blockage edge.
+        """
+        for region in self.blockages:
+            if region.contains(point):
+                candidates = [
+                    Point(region.xmin - 1.0, point.y),
+                    Point(region.xmax + 1.0, point.y),
+                    Point(point.x, region.ymin - 1.0),
+                    Point(point.x, region.ymax + 1.0),
+                ]
+                point = min(candidates, key=lambda c: c.manhattan_to(point))
+        return point
+
+    def _maybe_force_stage_buffer(self, merge: TreeNode) -> TreeNode:
+        """Keep merges library-shaped by buffering large collapsed stages.
+
+        The characterized library models loads as buffer-gate-sized
+        capacitances; a merge whose collapsed unbuffered capacitance
+        exceeds ``max_unbuffered_cap_ratio`` times the largest buffer's
+        input cap would be invisible to those fits, so it gets a buffer
+        directly above it (sized via the branch fits).
+        """
+        cap = self.root_stage_cap(merge)
+        if cap <= self.max_stage_cap:
+            return merge
+        buf = make_buffer(merge.location, self._choose_stage_driver(merge))
+        buf.attach(merge, 0.0)
+        self.stats.n_forced_stage_buffers += 1
+        return buf
+
+    def _choose_stage_driver(self, merge: TreeNode) -> BufferType:
+        """Smallest buffer that keeps both branch slews within target."""
+        target = self.options.target_slew
+        left, right = merge.children
+        cap_l = self.engine._load_cap_of(left)
+        cap_r = self.engine._load_cap_of(right)
+        for name in self.library.buffer_names:
+            timing = self.library.branch_component(
+                name,
+                target,
+                0.0,
+                left.wire_to_parent,
+                right.wire_to_parent,
+                cap_l,
+                cap_r,
+            )
+            if timing.left_slew <= target and timing.right_slew <= target:
+                return self.buffers[name]
+        return self.buffers[self.library.buffer_names[-1]]

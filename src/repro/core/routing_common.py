@@ -1,0 +1,106 @@
+"""Shared types and helpers for the two merge-routers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.charlib.library import DelaySlewLibrary
+from repro.core.options import CTSOptions
+from repro.core.segment_builder import PathState
+from repro.geom.point import Point
+from repro.geom.segment import PathPolyline
+from repro.tree.nodes import TreeNode
+
+
+@dataclass
+class RouteTerminal:
+    """One sub-tree root as seen by the router."""
+
+    node: TreeNode
+    point: Point
+    base_delay: float  # max delay from this point to the sub-tree's sinks
+    min_delay: float  # min delay (for skew bookkeeping)
+    load_name: str  # library load type approximating the root's stage cap
+
+
+@dataclass
+class RoutedPath:
+    """One side of a routed merge: geometry plus buffer plan."""
+
+    terminal: RouteTerminal
+    polyline: PathPolyline  # from the terminal's point to the meeting point
+    state: PathState  # expansion snapshot at the meeting distance
+    step: float  # grid pitch used for this route
+
+    @property
+    def arc_length(self) -> float:
+        return self.polyline.length
+
+
+@dataclass
+class RouteResult:
+    """Output of the routing stage (input to binary search)."""
+
+    meeting_point: Point
+    left: RoutedPath
+    right: RoutedPath
+    est_left_delay: float  # delay estimate through the left side at meeting
+    est_right_delay: float
+    grid_cells: int  # diagnostics: per-dimension cell count used
+
+    @property
+    def est_skew(self) -> float:
+        return abs(self.est_left_delay - self.est_right_delay)
+
+
+def slew_limited_length(
+    library: DelaySlewLibrary, target_slew: float, resolution: int = 200
+) -> float:
+    """Longest single wire any buffer can drive within the slew target.
+
+    Used to size routing grids so a slew-limited stage always spans
+    several cells (the paper's dynamic grid-size adjustment) and to cap
+    the collapsed capacitance of unbuffered stages.
+    """
+    best = 0.0
+    for drive in library.buffer_names:
+        fit = library.single[(drive, drive)]["wire_slew"]
+        lo, hi = float(fit.lo[1]), float(fit.hi[1])
+        lengths = np.linspace(lo, hi, resolution)
+        slews = fit.predict_many(
+            np.column_stack([np.full(resolution, target_slew), lengths])
+        )
+        ok = lengths[slews <= target_slew]
+        if ok.size:
+            best = max(best, float(ok.max()))
+    if best <= 0:
+        raise ValueError("no buffer can satisfy the slew target at any length")
+    return best
+
+
+def choose_pitch(span: float, options: CTSOptions, stage_length: float) -> tuple[float, int]:
+    """Grid pitch and per-dimension cell count for a route of ``span``.
+
+    Default R = ``options.grid_resolution`` cells; for long routes the
+    count grows so a slew-limited stage covers at least
+    ``options.target_cells_per_stage`` cells, capped at
+    ``options.max_grid_cells`` (the paper: "if the distance of two merging
+    nodes is large, the routing grid size can increase dynamically").
+    """
+    if span <= 0:
+        raise ValueError("span must be positive")
+    n = options.grid_resolution
+    pitch_cap = stage_length / options.target_cells_per_stage
+    if span / n > pitch_cap:
+        n = int(np.ceil(span / pitch_cap))
+    n = min(n, options.max_grid_cells)
+    return span / n, n
+
+
+def l_path(a: Point, b: Point) -> PathPolyline:
+    """An L-shaped rectilinear path from ``a`` to ``b`` (bend at (b.x, a.y))."""
+    if a.x == b.x or a.y == b.y:
+        return PathPolyline([a, b])
+    return PathPolyline([a, Point(b.x, a.y), b])

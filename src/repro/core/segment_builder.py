@@ -1,0 +1,220 @@
+"""Slew-driven buffer insertion along a 1-D routing path (Fig. 4.4).
+
+This is the logic shared by both routers: as maze expansion extends the
+open wire segment cell by cell, the slew at the segment's downstream end
+(monitored with the driver input slew assumed equal to the slew target) is
+looked up from the characterized library; when no buffer type could keep
+it within the target anymore, a buffer is inserted using *intelligent
+sizing* — every (buffer type, recent cell) pair is evaluated and the one
+whose resulting slew is closest to (but within) the target wins, maximizing
+the usable segment length.
+
+Because the routing medium is uniform, delay along a path depends only on
+the number of grid steps, so the whole expansion is precomputed as a
+*distance profile*: arrays of delay/state per step count, shared by every
+cell at the same path distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.charlib.library import DelaySlewLibrary
+
+
+class SegmentTables:
+    """Vectorized single-wire lookups at multiples of one grid pitch.
+
+    For a given merge, every lookup is at a length ``k * step`` with the
+    same assumed input slew, so each (drive, load, function) triple
+    collapses into one array indexed by step count.
+    """
+
+    def __init__(
+        self,
+        library: DelaySlewLibrary,
+        step: float,
+        n_steps: int,
+        input_slew: float,
+    ):
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.library = library
+        self.step = step
+        self.n_steps = n_steps
+        self.input_slew = input_slew
+        self._cache: dict[tuple[str, str, str], np.ndarray] = {}
+        self._lengths = np.arange(n_steps + 1) * step
+
+    def _table(self, drive: str, load: str, fn: str) -> np.ndarray:
+        key = (drive, load, fn)
+        table = self._cache.get(key)
+        if table is None:
+            fit = self.library.single[(drive, load)][fn]
+            x = np.column_stack(
+                [np.full(self._lengths.size, self.input_slew), self._lengths]
+            )
+            table = fit.predict_many(x)
+            if fn == "wire_slew":
+                # Beyond the characterized length range the fit would
+                # clamp (silently optimistic); mark those entries
+                # infeasible so buffer insertion never relies on them.
+                beyond = self._lengths > float(fit.hi[1]) * 1.001
+                table = np.where(beyond, np.inf, table)
+            self._cache[key] = table
+        return table
+
+    def wire_slew(self, drive: str, load: str, k: int) -> float:
+        return float(self._table(drive, load, "wire_slew")[k])
+
+    def wire_delay(self, drive: str, load: str, k: int) -> float:
+        return max(0.0, float(self._table(drive, load, "wire_delay")[k]))
+
+    def buffer_delay(self, drive: str, load: str, k: int) -> float:
+        return max(0.0, float(self._table(drive, load, "buffer_delay")[k]))
+
+    def max_feasible_steps(self, drive: str, load: str, target_slew: float) -> int:
+        """Largest k with wire_slew(k) <= target (0 if even k=1 violates)."""
+        table = self._table(drive, load, "wire_slew")
+        ok = np.nonzero(table > target_slew)[0]
+        if ok.size == 0:
+            return self.n_steps
+        return max(0, int(ok[0]) - 1)
+
+
+@dataclass(frozen=True)
+class PlacedBuffer:
+    """A buffer inserted ``steps`` grid steps from the path's start."""
+
+    steps: int
+    type_name: str
+
+
+@dataclass(frozen=True)
+class PathState:
+    """Snapshot of the expansion frontier after ``k`` steps.
+
+    ``delay`` is the estimated delay from the frontier to the sub-tree's
+    sinks: sub-tree delay + completed buffered stages + the open segment's
+    wire delay under a virtual frontier driver.
+    """
+
+    steps: int
+    delay: float
+    open_steps: int  # length of the open (driverless) segment, in steps
+    load_name: str  # library load type of the open segment's far end
+    buffers: tuple[PlacedBuffer, ...]
+    n_stages: int
+
+
+class PathBuilder:
+    """Expand a path step by step, inserting buffers per the slew rule."""
+
+    def __init__(
+        self,
+        tables: SegmentTables,
+        base_delay: float,
+        initial_load: str,
+        target_slew: float,
+        buffer_names: list[str],
+        virtual_drive: str,
+        lookahead: int = 3,
+    ):
+        self.tables = tables
+        self.target_slew = target_slew
+        self.buffer_names = buffer_names  # ordered smallest -> largest
+        self.virtual_drive = virtual_drive
+        self.lookahead = lookahead
+        self._states: list[PathState] = [
+            PathState(0, base_delay, 0, initial_load, (), 0)
+        ]
+        self._completed_delay = base_delay
+        # Mutable frontier mirror (duplicated from the last state for speed).
+        self._open = 0
+        self._load = initial_load
+        self._buffers: list[PlacedBuffer] = []
+
+    # ------------------------------------------------------------------
+
+    def state(self, k: int) -> PathState:
+        """Snapshot after k steps (extends the profile on demand)."""
+        while len(self._states) <= k:
+            self._extend_one()
+        return self._states[k]
+
+    def delays_up_to(self, k: int) -> np.ndarray:
+        """Array of frontier delays for steps 0..k inclusive."""
+        self.state(k)
+        return np.array([s.delay for s in self._states[: k + 1]])
+
+    # ------------------------------------------------------------------
+
+    def _slew_ok(self, drive: str, open_steps: int) -> bool:
+        return self.tables.wire_slew(drive, self._load, open_steps) <= self.target_slew
+
+    def _any_type_ok(self, open_steps: int) -> bool:
+        return any(self._slew_ok(name, open_steps) for name in self.buffer_names)
+
+    def _open_wire_delay(self, open_steps: int) -> float:
+        return self.tables.wire_delay(self.virtual_drive, self._load, open_steps)
+
+    def _extend_one(self) -> None:
+        k = len(self._states)  # step index being created
+        tentative = self._open + 1
+        if not self._any_type_ok(tentative):
+            self._insert_buffer(k - 1)
+            tentative = self._open + 1
+            # After insertion the load is a buffer very close by; a single
+            # further step must be feasible for at least the largest type.
+            if not self._any_type_ok(tentative):
+                raise RuntimeError(
+                    "grid pitch too coarse for the slew target: one step"
+                    " already violates slew after buffer insertion"
+                )
+        self._open = tentative
+        delay = self._completed_delay + self._open_wire_delay(self._open)
+        self._states.append(
+            PathState(
+                k,
+                delay,
+                self._open,
+                self._load,
+                tuple(self._buffers),
+                len(self._buffers),
+            )
+        )
+
+    def _insert_buffer(self, frontier_step: int) -> None:
+        """Intelligent sizing: pick (cell, type) with slew closest to target.
+
+        Candidate positions are the frontier cell and up to ``lookahead``
+        cells behind it ("at and ahead of the maze expansion grid in
+        question"); candidate types are the whole buffer library. The
+        chosen buffer's completed segment becomes a stage; its input
+        becomes the new open segment's load.
+        """
+        best: tuple[float, int, str] | None = None  # (slew, position, type)
+        for back in range(0, min(self.lookahead, self._open) + 1):
+            seg_steps = self._open - back
+            if seg_steps < 0:
+                break
+            for name in self.buffer_names:
+                slew = self.tables.wire_slew(name, self._load, seg_steps)
+                if slew <= self.target_slew:
+                    if best is None or slew > best[0]:
+                        best = (slew, frontier_step - back, name)
+        if best is None:
+            # Even a zero-length segment violates — cannot happen with a
+            # sane library, but guard with the largest buffer at distance 0.
+            best = (0.0, frontier_step - self._open, self.buffer_names[-1])
+        __, position, type_name = best
+        steps_from_start_of_open = position - (frontier_step - self._open)
+        seg_steps = steps_from_start_of_open
+        self._completed_delay += self.tables.buffer_delay(
+            type_name, self._load, seg_steps
+        ) + self.tables.wire_delay(type_name, self._load, seg_steps)
+        self._buffers.append(PlacedBuffer(position, type_name))
+        self._load = type_name
+        self._open = frontier_step - position

@@ -1,0 +1,100 @@
+"""Levelized topology generation (Sec. 4.1.1).
+
+A complete nearest-neighbor graph is maintained over the current level's
+sub-trees with edge cost ``alpha * distance + beta * |delay difference|``;
+the matching heuristic repeatedly pairs the node farthest from the sink
+centroid with its nearest (cheapest-edge) neighbor. With an odd node
+count, a *seed* node — the one with maximum latency — is promoted directly
+to the next level, where its larger delay is better matched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.options import CTSOptions
+from repro.geom.point import Point
+from repro.timing.analysis import SubtreeBounds
+from repro.tree.nodes import TreeNode
+
+
+@dataclass
+class SubTree:
+    """One node of the nearest-neighbor graph: a sub-tree plus its timing.
+
+    ``parts`` records the two sub-tree roots that were merge-routed to
+    form this sub-tree (None for level-0 sinks); H-structure correction
+    uses it to re-pair grandchildren.
+    """
+
+    root: TreeNode
+    bounds: SubtreeBounds
+    parts: tuple[TreeNode, TreeNode] | None = None
+
+    @property
+    def point(self) -> Point:
+        return self.root.location
+
+    @property
+    def max_delay(self) -> float:
+        return self.bounds.max_delay
+
+
+class EdgeCost:
+    """The paper's cost (Eq. 4.1), with delay converted to length units.
+
+    Distance is in layout units and delay difference in seconds; the delay
+    term is scaled by ``units_per_second`` (how much path length one second
+    of delay corresponds to, calibrated from the routed delay per unit) so
+    ``alpha`` and ``beta`` are dimensionless as in the paper.
+    """
+
+    def __init__(self, options: CTSOptions, delay_per_unit: float):
+        self.alpha = options.cost_alpha
+        self.beta = options.cost_beta
+        self.units_per_second = 1.0 / delay_per_unit if delay_per_unit > 0 else 0.0
+
+    def __call__(self, a: SubTree, b: SubTree) -> float:
+        distance = a.point.manhattan_to(b.point)
+        delay_diff = abs(a.max_delay - b.max_delay)
+        return self.alpha * distance + self.beta * delay_diff * self.units_per_second
+
+    def delay_cost(self, a: SubTree, b: SubTree) -> float:
+        """Cost of the delay-difference term alone (H-structure Method 1)."""
+        return abs(a.max_delay - b.max_delay) * self.units_per_second
+
+
+def select_seed(nodes: list[SubTree]) -> SubTree:
+    """The node promoted unmatched on odd counts: maximum latency."""
+    return max(nodes, key=lambda s: s.max_delay)
+
+
+def greedy_matching(
+    nodes: list[SubTree],
+    centroid: Point,
+    cost: EdgeCost,
+) -> tuple[list[tuple[SubTree, SubTree]], SubTree | None]:
+    """The paper's matching heuristic.
+
+    Repeatedly take the unmatched node farthest from the sink centroid and
+    pair it with its nearest neighbor under the edge cost. Returns the
+    pairs plus the promoted seed (odd counts only).
+    """
+    if not nodes:
+        raise ValueError("matching on empty level")
+    pool = list(nodes)
+    seed = None
+    if len(pool) % 2 == 1:
+        seed = select_seed(pool)
+        pool.remove(seed)
+    pairs: list[tuple[SubTree, SubTree]] = []
+    # Sort once by distance from centroid (descending); consume greedily.
+    pool.sort(key=lambda s: s.point.manhattan_to(centroid), reverse=True)
+    unmatched = pool
+    while unmatched:
+        anchor = unmatched[0]
+        rest = unmatched[1:]
+        partner = min(rest, key=lambda s: cost(anchor, s))
+        pairs.append((anchor, partner))
+        unmatched = [s for s in rest if s is not partner]
+    return pairs, seed

@@ -1,0 +1,63 @@
+"""Evaluation harness: simulated tree metrics, experiment drivers, tables.
+
+Every number reported by the benches comes from
+:func:`repro.evalx.metrics.evaluate_tree`, which simulates the synthesized
+netlist with the mini-SPICE substrate (stage-decomposed, electrically
+exact for CMOS stages) — mirroring how the paper obtains worst slew, skew
+and max latency "from SPICE simulation of the clock tree netlist".
+"""
+
+from repro.evalx.metrics import TreeMetrics, evaluate_tree, engine_metrics
+from repro.evalx.harness import (
+    BenchmarkRun,
+    run_aggressive,
+    run_merge_buffer,
+    table_5_1_rows,
+    table_5_2_rows,
+    table_5_3_rows,
+    render_table_5_1,
+    render_table_5_2,
+    render_table_5_3,
+    scale_instance,
+    full_run_requested,
+)
+from repro.evalx.experiments import (
+    fig_1_1_rows,
+    fig_3_2_experiment,
+    fig_3_4_rows,
+    fig_3_6_3_7_rows,
+    CurveVsRampResult,
+)
+from repro.evalx.tables import format_table
+from repro.evalx.power import PowerReport, tree_power
+from repro.evalx.variation import VariationModel, VariationResult, monte_carlo_skew
+from repro.evalx import paper_data
+
+__all__ = [
+    "PowerReport",
+    "tree_power",
+    "VariationModel",
+    "VariationResult",
+    "monte_carlo_skew",
+    "TreeMetrics",
+    "evaluate_tree",
+    "engine_metrics",
+    "BenchmarkRun",
+    "run_aggressive",
+    "run_merge_buffer",
+    "table_5_1_rows",
+    "table_5_2_rows",
+    "table_5_3_rows",
+    "render_table_5_1",
+    "render_table_5_2",
+    "render_table_5_3",
+    "scale_instance",
+    "full_run_requested",
+    "fig_1_1_rows",
+    "fig_3_2_experiment",
+    "fig_3_4_rows",
+    "fig_3_6_3_7_rows",
+    "CurveVsRampResult",
+    "format_table",
+    "paper_data",
+]

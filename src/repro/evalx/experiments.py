@@ -1,0 +1,231 @@
+"""Drivers for the paper's data figures (1.1, 3.2, 3.4, 3.6/3.7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.charlib.build import load_default_library
+from repro.charlib.library import DelaySlewLibrary
+from repro.charlib.sweep import CharConfig, InputShaper
+from repro.spice.stages import branch_spec, simulate_stage, single_wire_spec
+from repro.tech.presets import default_technology, sizing_sweep_library
+from repro.tech.technology import Technology
+from repro.timing.waveform import ramp_waveform
+
+
+def fig_1_1_rows(
+    lengths: tuple[float, ...] = (500.0, 1000.0, 2000.0, 4000.0, 6000.0, 8000.0),
+    buffer_names: tuple[str, ...] = ("BUF20X", "BUF30X"),
+    input_slew: float = 100.0e-12,
+    load_cap: float = 15.0e-15,
+    tech: Technology | None = None,
+    dt: float = 1.0e-12,
+) -> list[dict]:
+    """Fig. 1.1: wire output slew vs length for two driving buffer sizes.
+
+    The paper's point: slew explodes with wire length and upsizing the
+    driver from 20X to 30X "only provides a slight improvement" — buffer
+    sizing alone cannot control slew; buffers must go *into* the wires.
+    """
+    tech = tech or default_technology()
+    buffers = sizing_sweep_library()
+    wave = ramp_waveform(tech.vdd, input_slew, t_start=50.0e-12)
+    rows = []
+    for length in lengths:
+        row: dict = {"length": length}
+        for name in buffer_names:
+            spec = single_wire_spec(buffers[name], length, load_cap)
+            sim = simulate_stage(tech, spec, wave, dt=dt)
+            row[f"slew_{name.lower()}_ps"] = sim.slew_at(1) * 1e12
+        rows.append(row)
+    return rows
+
+
+@dataclass
+class CurveVsRampResult:
+    """Fig. 3.2: same measured slew, different waveform shape, shifted
+    downstream response.
+
+    ``output_shift`` follows the paper's framing: both inputs are applied
+    at the same time (aligned at the 10% crossing, where the transition
+    visibly starts), and the buffered outputs' 50% crossings are compared.
+    An RC-curved waveform front-loads its rise, so its 50% point sits much
+    earlier inside the equal 10-90 window than the ramp's — mispredicting
+    absolute timing when a curve is modeled as a ramp.
+    ``delay_difference_5050`` is the residual error under per-waveform
+    50%-to-50% delay accounting (smaller, but nonzero — shape still
+    matters even with ideal alignment).
+    """
+
+    input_slew: float
+    output_shift: float  # outputs' 50% shift with inputs aligned at 10%
+    delay_difference_5050: float  # per-input 50%-to-50% delay difference
+    curve_delay: float
+    ramp_delay: float
+    output_slew_curve: float
+    output_slew_ramp: float
+
+
+def fig_3_2_experiment(
+    target_slew: float = 150.0e-12,
+    wire_length: float = 1500.0,
+    tech: Technology | None = None,
+    dt: float = 0.5e-12,
+) -> CurveVsRampResult:
+    """Drive the same buffer+wire+load with a real curved waveform and an
+    ideal ramp of identical measured 10-90 slew; measure the output shift.
+
+    The curve is produced exactly like the paper's Fig. 3.1 setup: an
+    input buffer driving a wire whose length is bisected until the
+    waveform at the component input has the target slew. The ramp is then
+    constructed with the same measured slew, so the only difference is
+    the waveform *shape* — in particular the slow settling tail a long
+    RC wire adds beyond the 10-90 window.
+    """
+    tech = tech or default_technology()
+    buffers = sizing_sweep_library()
+    drive = buffers["BUF10X"]
+    load_cap = buffers["BUF20X"].input_cap(tech)
+    spec = single_wire_spec(drive, wire_length, load_cap)
+
+    config = CharConfig(dt=dt)
+    shaper = InputShaper(tech, buffers["BUF10X"], config)
+    # Bisect Linput so the curved input's slew hits the target.
+    lo, hi = 0.0, 9000.0
+    curve, slew = shaper.shaped_input(hi / 2, drive.input_cap(tech))
+    for _ in range(18):
+        mid = (lo + hi) / 2.0
+        curve, slew = shaper.shaped_input(mid, drive.input_cap(tech))
+        if abs(slew - target_slew) < 0.5e-12:
+            break
+        if slew < target_slew:
+            lo = mid
+        else:
+            hi = mid
+
+    ramp = ramp_waveform(tech.vdd, slew, t_start=100.0e-12)
+    delays = {}
+    slews = {}
+    start_to_out = {}
+    for shape, wave in (("ramp", ramp), ("curve", curve)):
+        sim = simulate_stage(tech, spec, wave, dt=dt)
+        delays[shape] = sim.delay_to(1)
+        slews[shape] = sim.slew_at(1)
+        t_start10 = sim.input_waveform().cross_time(0.1 * tech.vdd)
+        t_out50 = sim.waveform(1).cross_time(0.5 * tech.vdd)
+        start_to_out[shape] = t_out50 - t_start10
+    return CurveVsRampResult(
+        input_slew=slew,
+        output_shift=abs(start_to_out["curve"] - start_to_out["ramp"]),
+        delay_difference_5050=abs(delays["curve"] - delays["ramp"]),
+        curve_delay=delays["curve"],
+        ramp_delay=delays["ramp"],
+        output_slew_curve=slews["curve"],
+        output_slew_ramp=slews["ramp"],
+    )
+
+
+def fig_3_4_rows(
+    library: DelaySlewLibrary | None = None,
+    validate_points: int = 12,
+    tech: Technology | None = None,
+    seed: int = 7,
+) -> list[dict]:
+    """Fig. 3.4: buffer-intrinsic-delay surfaces — fit quality.
+
+    For each (drive, load) combination: the training residuals of the
+    polynomial surface plus a fresh-simulation validation error on random
+    off-grid (input slew, length) points.
+    """
+    tech = tech or default_technology()
+    library = library or load_default_library(tech)
+    from repro.tech.presets import cts_buffer_library
+
+    buffers = cts_buffer_library()
+    config = CharConfig()
+    rng = np.random.default_rng(seed)
+    rows = []
+    for (drive, load), fits in sorted(library.single.items()):
+        fit = fits["buffer_delay"]
+        shaper = InputShaper(tech, buffers[drive], config)
+        errors = []
+        for _ in range(validate_points):
+            linput = rng.uniform(100.0, 3800.0)
+            length = rng.uniform(100.0, 4800.0)
+            wave, slew_in = shaper.shaped_input(linput, buffers[drive].input_cap(tech))
+            spec = single_wire_spec(
+                buffers[drive], length, buffers[load].input_cap(tech)
+            )
+            sim = simulate_stage(tech, spec, wave, dt=config.dt)
+            predicted = fit.predict(slew_in, length)
+            errors.append(abs(predicted - sim.buffer_delay()))
+        rows.append(
+            {
+                "drive": drive,
+                "load": load,
+                "train_rms_ps": fit.quality.rms_error * 1e12,
+                "train_max_ps": fit.quality.max_error * 1e12,
+                "r_squared": fit.quality.r_squared,
+                "validate_mean_ps": float(np.mean(errors)) * 1e12,
+                "validate_max_ps": float(np.max(errors)) * 1e12,
+            }
+        )
+    return rows
+
+
+def fig_3_6_3_7_rows(
+    library: DelaySlewLibrary | None = None,
+    validate_points: int = 10,
+    tech: Technology | None = None,
+    seed: int = 11,
+) -> list[dict]:
+    """Figs. 3.6/3.7: branch wire-delay hyperplanes — fit quality.
+
+    Validates the left/right branch delay fits against fresh simulations
+    on random branch configurations.
+    """
+    tech = tech or default_technology()
+    library = library or load_default_library(tech)
+    from repro.tech.presets import cts_buffer_library
+
+    buffers = cts_buffer_library()
+    config = CharConfig()
+    rng = np.random.default_rng(seed)
+    rows = []
+    for drive, fits in sorted(library.branch.items()):
+        shaper = InputShaper(tech, buffers[drive], config)
+        errors = {"left_delay": [], "right_delay": []}
+        for _ in range(validate_points):
+            linput = rng.uniform(*config.branch_linput_range)
+            stem = rng.uniform(*config.branch_stem_range)
+            ll = rng.uniform(*config.branch_length_range)
+            rl = rng.uniform(*config.branch_length_range)
+            cl = rng.uniform(*config.branch_cap_range)
+            cr = rng.uniform(*config.branch_cap_range)
+            wave, slew_in = shaper.shaped_input(linput, buffers[drive].input_cap(tech))
+            spec = branch_spec(buffers[drive], ll, rl, cl, cr, stem_length=stem)
+            sim = simulate_stage(tech, spec, wave, dt=config.dt)
+            buffer_delay = sim.buffer_delay()
+            measured = {
+                "left_delay": sim.delay_to(2) - buffer_delay,
+                "right_delay": sim.delay_to(3) - buffer_delay,
+            }
+            for fn in errors:
+                predicted = fits[fn].predict(slew_in, stem, ll, rl, cl, cr)
+                errors[fn].append(abs(predicted - measured[fn]))
+        for fn, figure in (("left_delay", "3.6"), ("right_delay", "3.7")):
+            fit = fits[fn]
+            rows.append(
+                {
+                    "figure": figure,
+                    "drive": drive,
+                    "function": fn,
+                    "train_rms_ps": fit.quality.rms_error * 1e12,
+                    "r_squared": fit.quality.r_squared,
+                    "validate_mean_ps": float(np.mean(errors[fn])) * 1e12,
+                    "validate_max_ps": float(np.max(errors[fn])) * 1e12,
+                }
+            )
+    return rows

@@ -1,0 +1,63 @@
+"""Published numbers from the paper, for side-by-side table rendering.
+
+All values transcribed from the thesis (Tables 5.1, 5.2, 5.3); times in
+picoseconds unless noted.
+"""
+
+#: Table 5.1 — GSRC r-series: ours (worst slew / skew / max latency [ns])
+#: plus comparison skews quoted from [6], [8], [16].
+TABLE_5_1 = {
+    "r1": {"sinks": 267, "worst_slew": 89.5, "skew": 69.7, "latency_ns": 1.30,
+           "skew_ref6": 100.0, "skew_ref8": 57.0, "skew_ref16": 37.0},
+    "r2": {"sinks": 598, "worst_slew": 89.3, "skew": 59.9, "latency_ns": 1.69,
+           "skew_ref6": 96.0, "skew_ref8": 87.4, "skew_ref16": 59.5},
+    "r3": {"sinks": 862, "worst_slew": 89.7, "skew": 64.2, "latency_ns": 1.95,
+           "skew_ref6": 101.0, "skew_ref8": 59.6, "skew_ref16": 49.5},
+    "r4": {"sinks": 1903, "worst_slew": 100.0, "skew": 107.1, "latency_ns": 2.75,
+           "skew_ref6": 176.0, "skew_ref8": 98.6, "skew_ref16": 59.8},
+    "r5": {"sinks": 3101, "worst_slew": 98.3, "skew": 89.4, "latency_ns": 3.00,
+           "skew_ref6": 110.0, "skew_ref8": 86.9, "skew_ref16": 50.6},
+}
+
+#: Table 5.2 — ISPD 2009 benchmarks: worst slew / skew / max latency [ns].
+TABLE_5_2 = {
+    "f11": {"sinks": 121, "worst_slew": 99.2, "skew": 45.2, "latency_ns": 2.26},
+    "f12": {"sinks": 117, "worst_slew": 83.6, "skew": 45.8, "latency_ns": 1.92},
+    "f21": {"sinks": 117, "worst_slew": 99.2, "skew": 51.1, "latency_ns": 2.16},
+    "f22": {"sinks": 91, "worst_slew": 100.0, "skew": 42.4, "latency_ns": 1.62},
+    "f31": {"sinks": 273, "worst_slew": 98.1, "skew": 65.1, "latency_ns": 4.22},
+    "f32": {"sinks": 190, "worst_slew": 85.2, "skew": 52.3, "latency_ns": 3.38},
+    "fnb1": {"sinks": 330, "worst_slew": 80.0, "skew": 68.6, "latency_ns": 4.67},
+}
+
+#: Table 5.3 — H-structure corrections: skew ratios vs the original flow
+#: (negative = improvement) and the number of corrected pairings.
+TABLE_5_3 = {
+    "r1": {"reestimate_ratio": 23.07, "correct_ratio": 18.75, "flippings": 51},
+    "r2": {"reestimate_ratio": 4.79, "correct_ratio": 4.57, "flippings": 116},
+    "r3": {"reestimate_ratio": 5.32, "correct_ratio": 5.05, "flippings": 164},
+    "r4": {"reestimate_ratio": -12.11, "correct_ratio": -13.78, "flippings": 293},
+    "r5": {"reestimate_ratio": -3.80, "correct_ratio": -3.95, "flippings": 509},
+    "f11": {"reestimate_ratio": -21.68, "correct_ratio": -27.67, "flippings": 19},
+    "f12": {"reestimate_ratio": 20.69, "correct_ratio": 17.14, "flippings": 21},
+    "f21": {"reestimate_ratio": 25.78, "correct_ratio": 20.50, "flippings": 22},
+    "f22": {"reestimate_ratio": -32.66, "correct_ratio": -48.50, "flippings": 17},
+    "f31": {"reestimate_ratio": -9.32, "correct_ratio": -10.28, "flippings": 44},
+    "f32": {"reestimate_ratio": -20.30, "correct_ratio": -25.47, "flippings": 42},
+    "fnb1": {"reestimate_ratio": -8.99, "correct_ratio": -9.88, "flippings": 71},
+}
+
+#: Table 5.3 averages quoted in the text.
+TABLE_5_3_AVERAGES = {"reestimate": -2.43, "correct": -6.13}
+
+#: Fig. 3.2 — the curve-vs-ramp experiment: equal 150 ps input slews shift
+#: the buffered output by about 32 ps.
+FIG_3_2 = {"input_slew_ps": 150.0, "output_shift_ps": 32.0}
+
+#: Sec. 3.1 — a 10X buffer's intrinsic delay varies up to ~10 ps with
+#: input slew at 45 nm.
+INTRINSIC_DELAY_VARIATION_10X_PS = 10.0
+
+#: Sec. 5.1 — the slew limit and synthesis margin.
+SLEW_LIMIT_PS = 100.0
+SYNTHESIS_SLEW_TARGET_PS = 80.0

@@ -1,0 +1,95 @@
+"""Assemble a markdown experiment report from archived bench results.
+
+Each bench run archives its rendered table under ``benchmarks/results/``;
+this module stitches those files into a single markdown document (the
+mechanical part of EXPERIMENTS.md), so a full reproduction run can
+regenerate its evidence in one call::
+
+    python -c "from repro.evalx.report import write_report; write_report()"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Presentation order and headlines for the known experiment artifacts.
+SECTIONS = [
+    ("table_5_1", "Table 5.1 — GSRC benchmarks"),
+    ("table_5_2", "Table 5.2 — ISPD 2009 benchmarks"),
+    ("table_5_3", "Table 5.3 — H-structure corrections"),
+    ("fig_1_1", "Fig. 1.1 — slew vs wire length"),
+    ("fig_3_2", "Fig. 3.2 — curve vs ramp input"),
+    ("fig_3_4", "Fig. 3.4 — buffer intrinsic-delay fits"),
+    ("fig_3_6_3_7", "Figs. 3.6/3.7 — branch delay fits"),
+    ("ablation_grid", "Ablation — grid resolution"),
+    ("ablation_flow", "Ablation — balance / binary-search stages"),
+    ("ablation_models", "Ablation — delay-model accuracy ladder"),
+    ("ablation_sizing", "Ablation — buffer sizing freedom"),
+    ("ablation_router", "Ablation — profile vs maze router"),
+    ("ablation_slew_limit", "Extension — slew-limit sweep"),
+    ("ablation_topology", "Extension — topology comparison"),
+    ("ablation_variation", "Extension — process-variation Monte Carlo"),
+    ("ablation_bst", "Extension — bounded-skew DME trade-off"),
+]
+
+
+@dataclass
+class ReportSection:
+    key: str
+    title: str
+    body: str | None  # None when the artifact has not been generated yet
+
+
+def default_results_dir() -> Path:
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def collect_sections(results_dir: str | Path | None = None) -> list[ReportSection]:
+    """Load every known artifact (missing ones are flagged, not skipped)."""
+    directory = Path(results_dir) if results_dir else default_results_dir()
+    sections = []
+    for key, title in SECTIONS:
+        path = directory / f"{key}.txt"
+        body = path.read_text().rstrip() if path.exists() else None
+        sections.append(ReportSection(key, title, body))
+    return sections
+
+
+def render_report(
+    sections: list[ReportSection] | None = None,
+    results_dir: str | Path | None = None,
+) -> str:
+    """Markdown document with one section per experiment artifact."""
+    sections = sections or collect_sections(results_dir)
+    generated = sum(1 for s in sections if s.body is not None)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"{generated}/{len(sections)} experiment artifacts present"
+        " (run `pytest benchmarks/ --benchmark-only` to regenerate).",
+        "",
+    ]
+    for section in sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        if section.body is None:
+            lines.append("*not generated in this run*")
+        else:
+            lines.append("```")
+            lines.append(section.body)
+            lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str | Path | None = None,
+    results_dir: str | Path | None = None,
+) -> Path:
+    """Write the stitched report next to the results (or to ``path``)."""
+    directory = Path(results_dir) if results_dir else default_results_dir()
+    target = Path(path) if path else directory / "REPORT.md"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_report(results_dir=directory))
+    return target

@@ -1,0 +1,24 @@
+"""Geometric primitives for Manhattan-metric clock tree routing.
+
+Clock tree synthesis works in the rectilinear (Manhattan, L1) plane: wire
+length between two points equals their L1 distance, merge segments are
+Manhattan arcs (segments of slope +/-1), and maze routing runs on a uniform
+grid. This package provides those primitives.
+"""
+
+from repro.geom.point import Point, manhattan
+from repro.geom.bbox import BBox
+from repro.geom.segment import Segment, PathPolyline
+from repro.geom.manhattan_arc import ManhattanArc, tilted_rect_region
+from repro.geom.grid import RoutingGrid
+
+__all__ = [
+    "Point",
+    "manhattan",
+    "BBox",
+    "Segment",
+    "PathPolyline",
+    "ManhattanArc",
+    "tilted_rect_region",
+    "RoutingGrid",
+]

@@ -1,0 +1,85 @@
+"""Axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned rectangle, possibly degenerate (zero width/height)."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"inverted bbox: {self}")
+
+    @staticmethod
+    def of_points(points: list[Point]) -> "BBox":
+        """Smallest bbox containing all ``points``."""
+        if not points:
+            raise ValueError("bbox of empty point list")
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        return BBox(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def half_perimeter(self) -> float:
+        return self.width + self.height
+
+    def contains(self, p: Point, tol: float = 0.0) -> bool:
+        """Whether ``p`` lies inside (or within ``tol`` of) the box."""
+        return (
+            self.xmin - tol <= p.x <= self.xmax + tol
+            and self.ymin - tol <= p.y <= self.ymax + tol
+        )
+
+    def expanded(self, margin: float) -> "BBox":
+        """Box grown by ``margin`` on every side."""
+        return BBox(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        return BBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersects(self, other: "BBox") -> bool:
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """Closest point of the box to ``p``."""
+        return Point(
+            min(max(p.x, self.xmin), self.xmax),
+            min(max(p.y, self.ymin), self.ymax),
+        )

@@ -1,0 +1,113 @@
+"""Uniform routing grids for maze routing.
+
+The routing stage partitions the region between two merge candidates into a
+grid of R x R cells (Sec. 4.2.2 of the paper; default R = 45 per dimension,
+grown dynamically for long nets so that enough candidate buffer locations
+exist along any path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+
+
+@dataclass
+class RoutingGrid:
+    """A uniform grid over a bounding box.
+
+    Cells are indexed by integer ``(col, row)`` with cell centers used as
+    routing graph vertices. Blockages are stored as a set of blocked cells.
+    """
+
+    bbox: BBox
+    cols: int
+    rows: int
+    blocked: set[tuple[int, int]] = field(default_factory=set)
+
+    DEFAULT_RESOLUTION = 45
+
+    def __post_init__(self) -> None:
+        if self.cols < 2 or self.rows < 2:
+            raise ValueError("grid needs at least 2x2 cells")
+
+    @staticmethod
+    def for_route(
+        a: Point,
+        b: Point,
+        resolution: int = DEFAULT_RESOLUTION,
+        min_pitch: float | None = None,
+        max_cells_per_dim: int = 400,
+        margin_ratio: float = 0.15,
+    ) -> "RoutingGrid":
+        """Build the routing grid between two terminals.
+
+        The grid covers the bounding box of ``a`` and ``b`` expanded by
+        ``margin_ratio`` (so detours around the box are possible), with
+        ``resolution`` cells per dimension by default. When ``min_pitch``
+        is given (typically a fraction of the slew-limited wire length),
+        the cell count grows for long nets so the pitch never exceeds it:
+        this is the paper's "dynamically adjust the routing grid size"
+        feature that guarantees enough candidate buffer locations.
+        """
+        box = BBox.of_points([a, b])
+        margin = max(box.half_perimeter * margin_ratio, 1.0)
+        box = box.expanded(margin)
+        cols = rows = max(2, resolution)
+        if min_pitch is not None and min_pitch > 0:
+            cols = max(cols, int(box.width / min_pitch) + 1)
+            rows = max(rows, int(box.height / min_pitch) + 1)
+        cols = min(cols, max_cells_per_dim)
+        rows = min(rows, max_cells_per_dim)
+        return RoutingGrid(box, cols, rows)
+
+    @property
+    def pitch_x(self) -> float:
+        return self.bbox.width / (self.cols - 1)
+
+    @property
+    def pitch_y(self) -> float:
+        return self.bbox.height / (self.rows - 1)
+
+    def cell_center(self, col: int, row: int) -> Point:
+        """Center coordinate of the cell ``(col, row)``."""
+        return Point(
+            self.bbox.xmin + col * self.pitch_x,
+            self.bbox.ymin + row * self.pitch_y,
+        )
+
+    def nearest_cell(self, p: Point) -> tuple[int, int]:
+        """Grid cell whose center is nearest to ``p`` (clamped to bounds)."""
+        col = round((p.x - self.bbox.xmin) / self.pitch_x) if self.pitch_x > 0 else 0
+        row = round((p.y - self.bbox.ymin) / self.pitch_y) if self.pitch_y > 0 else 0
+        return (min(max(col, 0), self.cols - 1), min(max(row, 0), self.rows - 1))
+
+    def in_bounds(self, col: int, row: int) -> bool:
+        return 0 <= col < self.cols and 0 <= row < self.rows
+
+    def is_blocked(self, col: int, row: int) -> bool:
+        return (col, row) in self.blocked
+
+    def block_region(self, region: BBox) -> None:
+        """Mark every cell whose center falls inside ``region`` as blocked."""
+        for col in range(self.cols):
+            for row in range(self.rows):
+                if region.contains(self.cell_center(col, row)):
+                    self.blocked.add((col, row))
+
+    def neighbors(self, col: int, row: int):
+        """Yield 4-connected unblocked neighbor cells with step lengths."""
+        for dc, dr, step in (
+            (1, 0, self.pitch_x),
+            (-1, 0, self.pitch_x),
+            (0, 1, self.pitch_y),
+            (0, -1, self.pitch_y),
+        ):
+            nc, nr = col + dc, row + dr
+            if self.in_bounds(nc, nr) and not self.is_blocked(nc, nr):
+                yield nc, nr, step
+
+    def cell_count(self) -> int:
+        return self.cols * self.rows

@@ -1,0 +1,179 @@
+"""Manhattan arcs: the loci used as DME merge segments.
+
+A *Manhattan arc* is a (possibly degenerate) segment of slope +1 or -1.
+The set of points at fixed L1 distance ``d1`` from one point and ``d2``
+from another (with ``d1 + d2 == dist``) is such an arc; DME's bottom-up
+phase manipulates these as "merge segments".
+
+Arithmetic is done in the 45-degree rotated frame ``(u, v) = (x+y, x-y)``
+where L1 distance becomes Chebyshev distance and arcs become axis-aligned
+segments, making intersections and distance computations rectangle algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.point import Point
+
+
+@dataclass(frozen=True)
+class _Rect:
+    """Axis-aligned rectangle in the rotated (u, v) frame."""
+
+    umin: float
+    umax: float
+    vmin: float
+    vmax: float
+
+    def is_empty(self, tol: float = 1e-9) -> bool:
+        return self.umax < self.umin - tol or self.vmax < self.vmin - tol
+
+    def intersect(self, other: "_Rect") -> "_Rect":
+        return _Rect(
+            max(self.umin, other.umin),
+            min(self.umax, other.umax),
+            max(self.vmin, other.vmin),
+            min(self.vmax, other.vmax),
+        )
+
+    def chebyshev_distance(self, other: "_Rect") -> float:
+        du = max(0.0, max(self.umin, other.umin) - min(self.umax, other.umax))
+        dv = max(0.0, max(self.vmin, other.vmin) - min(self.vmax, other.vmax))
+        return max(du, dv)
+
+
+class ManhattanArc:
+    """A Manhattan arc (or a single point as the degenerate case).
+
+    Stored as its two endpoints in the original frame. All arcs produced by
+    DME merges satisfy the +/-1-slope property; tilted rectangles that arise
+    transiently in merge-region computations are handled by
+    :func:`tilted_rect_region` instead.
+    """
+
+    __slots__ = ("p", "q")
+
+    def __init__(self, p: Point, q: Point):
+        rp, rq = p.to_rotated(), q.to_rotated()
+        # A legal Manhattan arc is axis-aligned in the rotated frame.
+        if abs(rp.x - rq.x) > 1e-6 and abs(rp.y - rq.y) > 1e-6:
+            raise ValueError(f"not a Manhattan arc: {p} -- {q}")
+        self.p = p
+        self.q = q
+
+    @staticmethod
+    def point(p: Point) -> "ManhattanArc":
+        """Degenerate arc consisting of the single point ``p``."""
+        return ManhattanArc(p, p)
+
+    def __repr__(self) -> str:
+        return f"ManhattanArc({self.p!r}, {self.q!r})"
+
+    @property
+    def is_point(self) -> bool:
+        return self.p == self.q
+
+    @property
+    def length(self) -> float:
+        """Manhattan length of the arc (0 for a degenerate point arc)."""
+        return self.p.manhattan_to(self.q)
+
+    def _rect(self) -> _Rect:
+        rp, rq = self.p.to_rotated(), self.q.to_rotated()
+        return _Rect(
+            min(rp.x, rq.x), max(rp.x, rq.x), min(rp.y, rq.y), max(rp.y, rq.y)
+        )
+
+    def distance_to(self, other: "ManhattanArc") -> float:
+        """Minimum L1 distance between the two arcs."""
+        return self._rect().chebyshev_distance(other._rect())
+
+    def distance_to_point(self, p: Point) -> float:
+        return self.distance_to(ManhattanArc.point(p))
+
+    def closest_point_to(self, target: Point) -> Point:
+        """The point of this arc nearest to ``target`` in L1."""
+        rect = self._rect()
+        rt = target.to_rotated()
+        u = min(max(rt.x, rect.umin), rect.umax)
+        v = min(max(rt.y, rect.vmin), rect.vmax)
+        return Point.from_rotated(u, v)
+
+    def sample(self, t: float) -> Point:
+        """Point at parameter ``t`` in [0, 1] along the arc."""
+        return self.p.lerp(self.q, t)
+
+    def intersection(self, other: "ManhattanArc") -> "ManhattanArc | None":
+        """Intersection with another arc, or None when disjoint.
+
+        Only meaningful for arcs of the same orientation (the common DME
+        case); crossing arcs of opposite slope intersect in a point, which
+        is returned as a degenerate arc.
+        """
+        inter = self._rect().intersect(other._rect())
+        if inter.is_empty():
+            return None
+        a = Point.from_rotated(inter.umin, inter.vmin)
+        b = Point.from_rotated(inter.umax, inter.vmax)
+        try:
+            return ManhattanArc(a, b)
+        except ValueError:
+            # The rectangles overlap in a 2-D region (shouldn't happen for
+            # true arcs); collapse to the region's center point.
+            c = Point.from_rotated(
+                (inter.umin + inter.umax) / 2.0, (inter.vmin + inter.vmax) / 2.0
+            )
+            return ManhattanArc.point(c)
+
+
+def merge_arc(arc_a: ManhattanArc, arc_b: ManhattanArc, d_a: float, d_b: float) -> ManhattanArc:
+    """Merge segment of two arcs at distances ``d_a``/``d_b`` (DME bottom-up).
+
+    Returns the locus of points at L1 distance ``d_a`` from ``arc_a`` and
+    ``d_b`` from ``arc_b``, assuming ``d_a + d_b`` equals the arc distance
+    (no detour). Computed as the intersection of the two tilted-rectangle
+    expansions in the rotated frame.
+    """
+    dist = arc_a.distance_to(arc_b)
+    if d_a < -1e-9 or d_b < -1e-9:
+        raise ValueError("negative merge distances")
+    if d_a + d_b < dist - 1e-6:
+        raise ValueError(
+            f"d_a + d_b = {d_a + d_b} cannot bridge arc distance {dist}"
+        )
+    ra = arc_a._rect()
+    rb = arc_b._rect()
+    ea = _Rect(ra.umin - d_a, ra.umax + d_a, ra.vmin - d_a, ra.vmax + d_a)
+    eb = _Rect(rb.umin - d_b, rb.umax + d_b, rb.vmin - d_b, rb.vmax + d_b)
+    inter = ea.intersect(eb)
+    if inter.is_empty():
+        raise ValueError("expansion rectangles do not intersect")
+    # The intersection is a rectangle; the true merge locus is its boundary
+    # portion equidistant as required. For exact-bridging distances the
+    # rectangle degenerates to a segment. For slack we keep the center line
+    # along the longer dimension, which preserves the classic DME behaviour.
+    du = inter.umax - inter.umin
+    dv = inter.vmax - inter.vmin
+    if du <= dv:
+        u = (inter.umin + inter.umax) / 2.0
+        a = Point.from_rotated(u, inter.vmin)
+        b = Point.from_rotated(u, inter.vmax)
+    else:
+        v = (inter.vmin + inter.vmax) / 2.0
+        a = Point.from_rotated(inter.umin, v)
+        b = Point.from_rotated(inter.umax, v)
+    return ManhattanArc(a, b)
+
+
+def tilted_rect_region(center: Point, radius: float) -> list[Point]:
+    """Corner points of the L1 ball (tilted square) of ``radius`` at ``center``.
+
+    Useful for visualization and for tests of merge-segment geometry.
+    """
+    return [
+        Point(center.x + radius, center.y),
+        Point(center.x, center.y + radius),
+        Point(center.x - radius, center.y),
+        Point(center.x, center.y - radius),
+    ]

@@ -1,0 +1,81 @@
+"""2-D points in the Manhattan plane."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable 2-D point.
+
+    Coordinates are floats in abstract layout "units"; the technology object
+    assigns electrical meaning (ohm/unit, farad/unit) to unit length.
+    """
+
+    x: float
+    y: float
+
+    def manhattan_to(self, other: "Point") -> float:
+        """L1 (Manhattan) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        """L2 (Euclidean) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, k: float) -> "Point":
+        """Return this point scaled by ``k`` about the origin."""
+        return Point(self.x * k, self.y * k)
+
+    def lerp(self, other: "Point", t: float) -> "Point":
+        """Linear interpolation: ``self`` at t=0, ``other`` at t=1."""
+        return Point(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    def snapped(self, pitch: float) -> "Point":
+        """Return the point snapped to a grid of the given pitch."""
+        if pitch <= 0:
+            raise ValueError("pitch must be positive")
+        return Point(round(self.x / pitch) * pitch, round(self.y / pitch) * pitch)
+
+    def to_rotated(self) -> "Point":
+        """Map to the 45-degree rotated frame (u, v) = (x + y, x - y).
+
+        In the rotated frame, Manhattan distance becomes the Chebyshev
+        (L-infinity) distance, which turns Manhattan arcs into axis-aligned
+        segments and simplifies their intersection arithmetic.
+        """
+        return Point(self.x + self.y, self.x - self.y)
+
+    @staticmethod
+    def from_rotated(u: float, v: float) -> "Point":
+        """Inverse of :meth:`to_rotated`."""
+        return Point((u + v) / 2.0, (u - v) / 2.0)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Module-level convenience for :meth:`Point.manhattan_to`."""
+    return a.manhattan_to(b)
+
+
+def centroid(points: list[Point]) -> Point:
+    """Arithmetic centroid of a non-empty list of points."""
+    if not points:
+        raise ValueError("centroid of empty point list")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    n = float(len(points))
+    return Point(sx / n, sy / n)

@@ -1,0 +1,49 @@
+"""A small nonlinear transient circuit simulator ("mini-SPICE").
+
+This is the substrate that replaces the paper's HSPICE + 45 nm PTM setup.
+It simulates exactly the circuit class clock tree synthesis needs:
+
+- CMOS buffers (two cascaded inverters) with an alpha-power-law MOSFET
+  model — reproducing slew-dependent intrinsic delay and curved output
+  waveforms;
+- distributed RC wires (pi-segment ladders);
+- grounded capacitive loads (gate caps, sink caps);
+- piecewise-linear voltage sources.
+
+Integration is backward Euler with Newton iteration on a dense MNA system;
+stage circuits are small (tens of nodes), so dense linear algebra is both
+simple and fast. Whole clock trees are simulated exactly by stage
+decomposition (:mod:`repro.spice.stages`): CMOS gates are unidirectional,
+so the tree splits at buffer inputs into independently solvable stages
+whose interface waveforms are propagated in topological order.
+"""
+
+from repro.spice.mosfet import MosfetParams, mosfet_current, nmos_params, pmos_params
+from repro.spice.circuit import Circuit
+from repro.spice.transient import TransientOptions, TransientResult, simulate
+from repro.spice.stages import (
+    StageSpec,
+    StageWire,
+    build_stage_circuit,
+    simulate_stage,
+    StageSimResult,
+)
+from repro.spice.netlist import write_netlist, parse_netlist
+
+__all__ = [
+    "MosfetParams",
+    "mosfet_current",
+    "nmos_params",
+    "pmos_params",
+    "Circuit",
+    "TransientOptions",
+    "TransientResult",
+    "simulate",
+    "StageSpec",
+    "StageWire",
+    "build_stage_circuit",
+    "simulate_stage",
+    "StageSimResult",
+    "write_netlist",
+    "parse_netlist",
+]

@@ -1,0 +1,130 @@
+"""Alpha-power-law MOSFET model (Sakurai-Newton).
+
+The alpha-power law is the standard compact model for velocity-saturated
+short-channel CMOS:
+
+    Idsat = K * W * (Vgs - Vth)^alpha
+    Vdsat = Kv * (Vgs - Vth)^(alpha/2)
+    Id    = Idsat * (2 - Vds/Vdsat) * (Vds/Vdsat)   for Vds < Vdsat (linear)
+    Id    = Idsat * (1 + lam * (Vds - Vdsat))        for Vds >= Vdsat
+
+It captures what the paper's flow depends on: drive current that depends
+nonlinearly on the (slew-limited) gate voltage, making buffer intrinsic
+delay a strong function of input slew, and output waveforms that are
+curved rather than ramps.
+
+Devices are symmetric: when ``Vds < 0`` the drain/source roles swap. PMOS
+is modeled by voltage mirroring of the NMOS equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.technology import Technology
+
+#: Small drain-source conductance for Newton conditioning (Siemens per X).
+GMIN_PER_X = 1e-9
+
+#: Channel-length-modulation coefficient (1/V).
+LAMBDA = 0.05
+
+#: Vdsat coefficient: Vdsat(Vdd) ~ 0.45 V at 0.7 V overdrive, alpha = 1.4.
+KV = 0.58
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Parameters of one device instance."""
+
+    k: float  # A / V^alpha per X
+    vth: float  # V (positive magnitude)
+    alpha: float
+    width: float  # relative width, X
+    is_pmos: bool
+
+    @property
+    def gmin(self) -> float:
+        return GMIN_PER_X * self.width
+
+
+def nmos_params(tech: Technology, width: float) -> MosfetParams:
+    return MosfetParams(tech.nmos_k, tech.nmos_vth, tech.alpha, width, False)
+
+
+def pmos_params(tech: Technology, width: float) -> MosfetParams:
+    return MosfetParams(tech.pmos_k, tech.pmos_vth, tech.alpha, width, True)
+
+
+def _core_current(
+    vgs: float, vds: float, p: MosfetParams
+) -> tuple[float, float, float]:
+    """NMOS-convention current for ``vds >= 0``.
+
+    Returns ``(id, did_dvgs, did_dvds)``.
+    """
+    over = vgs - p.vth
+    if over <= 0.0:
+        return 0.0, 0.0, 0.0
+    idsat = p.k * p.width * over**p.alpha
+    didsat_dvgs = p.alpha * p.k * p.width * over ** (p.alpha - 1.0)
+    vdsat = KV * over ** (p.alpha / 2.0)
+    dvdsat_dvgs = KV * (p.alpha / 2.0) * over ** (p.alpha / 2.0 - 1.0)
+    if vds >= vdsat:
+        clm = 1.0 + LAMBDA * (vds - vdsat)
+        i = idsat * clm
+        di_dvgs = didsat_dvgs * clm - idsat * LAMBDA * dvdsat_dvgs
+        di_dvds = idsat * LAMBDA
+        return i, di_dvgs, di_dvds
+    u = vds / vdsat
+    f = (2.0 - u) * u
+    df_du = 2.0 - 2.0 * u
+    du_dvds = 1.0 / vdsat
+    du_dvgs = -vds / (vdsat * vdsat) * dvdsat_dvgs
+    i = idsat * f
+    di_dvgs = didsat_dvgs * f + idsat * df_du * du_dvgs
+    di_dvds = idsat * df_du * du_dvds
+    return i, di_dvgs, di_dvds
+
+
+def _nmos_current(
+    vg: float, vd: float, vs: float, p: MosfetParams
+) -> tuple[float, float, float, float]:
+    """Symmetric NMOS current into the drain terminal.
+
+    Returns ``(id, did_dvg, did_dvd, did_dvs)`` where ``id`` flows from
+    drain to source inside the device (out of node d).
+    """
+    if vd >= vs:
+        i, di_dvgs, di_dvds = _core_current(vg - vs, vd - vs, p)
+        di_dvg = di_dvgs
+        di_dvd = di_dvds
+        di_dvs = -di_dvgs - di_dvds
+    else:
+        # Swap roles: terminal d acts as the source.
+        i_sw, di_dvgs, di_dvds = _core_current(vg - vd, vs - vd, p)
+        i = -i_sw
+        di_dvg = -di_dvgs
+        di_dvs = -di_dvds
+        di_dvd = di_dvgs + di_dvds
+    # gmin leak keeps the Jacobian nonsingular when the device is off.
+    i += p.gmin * (vd - vs)
+    di_dvd += p.gmin
+    di_dvs -= p.gmin
+    return i, di_dvg, di_dvd, di_dvs
+
+
+def mosfet_current(
+    vg: float, vd: float, vs: float, p: MosfetParams
+) -> tuple[float, float, float, float]:
+    """Drain current and derivatives for NMOS or PMOS.
+
+    The return convention matches :func:`_nmos_current`: current flowing
+    *into* the drain node (so KCL adds ``+id`` at the drain and ``-id`` at
+    the source).
+    """
+    if not p.is_pmos:
+        return _nmos_current(vg, vd, vs, p)
+    # PMOS via mirroring: i_p(vg, vd, vs) = -i_n(-vg, -vd, -vs).
+    i, di_dvg, di_dvd, di_dvs = _nmos_current(-vg, -vd, -vs, p)
+    return -i, di_dvg, di_dvd, di_dvs

@@ -1,0 +1,103 @@
+"""SPICE-format netlist export and (subset) import.
+
+The exporter writes the standard card format so synthesized clock trees
+can be inspected with familiar tools; the parser reads back the same
+subset, giving a round-trippable external representation and a convenient
+integration-test surface.
+
+Supported cards::
+
+    * comment
+    Rname n1 n2 value
+    Cname n  0  value
+    Mname d g s b MODEL W=value   (b and MODEL select NMOS/PMOS)
+    Vname n  0  DC value
+    Vname n  0  PWL(t1 v1 t2 v2 ...)
+    .END
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.circuit import GROUND, Circuit
+from repro.spice.mosfet import MosfetParams
+from repro.tech.technology import Technology
+from repro.timing.waveform import Waveform
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Render the circuit as SPICE cards."""
+    lines = [f"* {circuit.title}"]
+    lines.append(f"* nodes={circuit.node_count()} elements={circuit.element_count()}")
+    for i, r in enumerate(circuit.resistors):
+        lines.append(f"R{i} {r.n1} {r.n2} {r.r:.6g}")
+    for i, c in enumerate(circuit.caps):
+        lines.append(f"C{i} {c.node} 0 {c.c:.6g}")
+    for i, m in enumerate(circuit.mosfets):
+        model = "PMOS" if m.params.is_pmos else "NMOS"
+        body = "vdd" if m.params.is_pmos else "0"
+        lines.append(
+            f"M{i} {m.drain} {m.gate} {m.source} {body} {model} W={m.params.width:.6g}"
+        )
+    for i, s in enumerate(circuit.sources):
+        if isinstance(s.value, Waveform):
+            pairs = " ".join(
+                f"{t:.6g} {v:.6g}" for t, v in zip(s.value.times, s.value.values)
+            )
+            lines.append(f"V{i} {s.node} 0 PWL({pairs})")
+        else:
+            lines.append(f"V{i} {s.node} 0 DC {s.value:.6g}")
+    lines.append(".END")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_mosfet_params(tech: Technology, model: str, width: float) -> MosfetParams:
+    if model.upper() == "PMOS":
+        return MosfetParams(tech.pmos_k, tech.pmos_vth, tech.alpha, width, True)
+    if model.upper() == "NMOS":
+        return MosfetParams(tech.nmos_k, tech.nmos_vth, tech.alpha, width, False)
+    raise ValueError(f"unknown MOSFET model {model!r}")
+
+
+def parse_netlist(text: str, tech: Technology) -> Circuit:
+    """Parse the subset emitted by :func:`write_netlist`."""
+    circuit = Circuit(tech, title="parsed")
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.upper() == ".END":
+            break
+        card = line[0].upper()
+        if card == "R":
+            __, n1, n2, value = line.split()
+            circuit.add_resistor(n1, n2, float(value))
+        elif card == "C":
+            __, node, gnd, value = line.split()
+            if gnd != GROUND:
+                raise ValueError(f"only grounded caps supported: {line!r}")
+            circuit.add_cap(node, float(value))
+        elif card == "M":
+            parts = line.split()
+            if len(parts) != 7 or not parts[6].upper().startswith("W="):
+                raise ValueError(f"malformed MOSFET card: {line!r}")
+            __, d, g, s, _body, model, w_spec = parts
+            width = float(w_spec.split("=", 1)[1])
+            circuit.add_mosfet(d, g, s, _parse_mosfet_params(tech, model, width))
+        elif card == "V":
+            if "PWL(" in line.upper():
+                head, _, tail = line.partition("(")
+                __, node, gnd, _kind = head.split()
+                numbers = [float(tok) for tok in tail.rstrip(") ").split()]
+                if len(numbers) < 4 or len(numbers) % 2:
+                    raise ValueError(f"malformed PWL card: {line!r}")
+                times = np.array(numbers[0::2])
+                values = np.array(numbers[1::2])
+                circuit.add_vsource(node, Waveform(times, values))
+            else:
+                __, node, gnd, _dc, value = line.split()
+                circuit.add_vsource(node, float(value))
+        else:
+            raise ValueError(f"unsupported card: {line!r}")
+    return circuit

@@ -1,0 +1,28 @@
+"""Technology description: wire RC, supply, and the buffer library.
+
+The paper uses 45 nm PTM transistor models with GSRC wire parasitics scaled
+10X (0.03 Ohm/unit, 0.2 fF/unit) so that slew degrades quickly with wire
+length and buffer insertion along routing paths becomes mandatory. This
+package provides an equivalent technology description for the bundled
+mini-SPICE substrate.
+"""
+
+from repro.tech.technology import Technology, WireModel
+from repro.tech.buffers import BufferType, BufferLibrary
+from repro.tech.presets import (
+    default_technology,
+    default_buffer_library,
+    cts_buffer_library,
+    sizing_sweep_library,
+)
+
+__all__ = [
+    "Technology",
+    "WireModel",
+    "BufferType",
+    "BufferLibrary",
+    "default_technology",
+    "default_buffer_library",
+    "cts_buffer_library",
+    "sizing_sweep_library",
+]

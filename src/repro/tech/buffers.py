@@ -1,0 +1,116 @@
+"""Buffer types and buffer libraries.
+
+Each buffer is two cascaded inverters (as in the paper, Sec. 3.2): the
+first inverter is ``size/stage_ratio`` X wide, the second ``size`` X, so
+the buffer presents a small input capacitance while driving a large load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class BufferType:
+    """A named buffer of a given drive strength.
+
+    ``size`` is the relative width (in X) of the *output* inverter;
+    ``stage_ratio`` divides it for the input inverter.
+    """
+
+    name: str
+    size: float  # output inverter width, in X
+    stage_ratio: float = 4.0  # output width / input width
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"buffer size must be positive: {self}")
+        if self.stage_ratio < 1:
+            raise ValueError(f"stage ratio must be >= 1: {self}")
+
+    @property
+    def input_size(self) -> float:
+        """Width (X) of the first inverter."""
+        return max(1.0, self.size / self.stage_ratio)
+
+    def input_cap(self, tech: Technology) -> float:
+        """Gate capacitance presented at the buffer input (F)."""
+        return tech.gate_cap_per_x * self.input_size
+
+    def output_cap(self, tech: Technology) -> float:
+        """Parasitic drain capacitance at the buffer output (F)."""
+        return tech.drain_cap_per_x * self.size
+
+    def drive_resistance(self, tech: Technology) -> float:
+        """Effective switching resistance of the output inverter (Ohm).
+
+        First-order estimate ``Vdd / (2 * Idsat)`` using the alpha-power
+        saturation current at Vgs = Vdd; used for coarse estimates (e.g.
+        Elmore-based baselines), never for the characterized library.
+        """
+        overdrive = tech.vdd - tech.nmos_vth
+        idsat = tech.nmos_k * self.size * overdrive**tech.alpha
+        return tech.vdd / (2.0 * idsat)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class BufferLibrary:
+    """An ordered collection of buffer types, smallest first."""
+
+    def __init__(self, buffers: list[BufferType]):
+        if not buffers:
+            raise ValueError("empty buffer library")
+        names = [b.name for b in buffers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate buffer names: {names}")
+        self._buffers = sorted(buffers, key=lambda b: b.size)
+        self._by_name = {b.name: b for b in self._buffers}
+
+    def __iter__(self):
+        return iter(self._buffers)
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> BufferType:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown buffer {name!r}; library has {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def names(self) -> list[str]:
+        return [b.name for b in self._buffers]
+
+    @property
+    def smallest(self) -> BufferType:
+        return self._buffers[0]
+
+    @property
+    def largest(self) -> BufferType:
+        return self._buffers[-1]
+
+    def by_size(self) -> list[BufferType]:
+        """Buffers ordered by increasing drive strength."""
+        return list(self._buffers)
+
+    def closest_by_input_cap(self, cap: float, tech: Technology) -> BufferType:
+        """Buffer whose input capacitance is nearest to ``cap``.
+
+        The paper approximates components ending at a *sink* by a component
+        ending at the buffer of most similar load capacitance (Sec. 3.2.1);
+        this is the lookup that implements that approximation.
+        """
+        return min(self._buffers, key=lambda b: abs(b.input_cap(tech) - cap))
+
+    def subset(self, names: list[str]) -> "BufferLibrary":
+        return BufferLibrary([self[name] for name in names])

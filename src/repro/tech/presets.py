@@ -1,0 +1,77 @@
+"""Ready-made technology and buffer-library presets.
+
+``default_technology`` approximates a 45 nm process the way the paper's
+PTM-based setup does: 1.0 V supply, ~0.3 V thresholds, velocity-saturated
+alpha ~ 1.4, and drive currents calibrated so a 20X buffer has an effective
+switching resistance of roughly 100 Ohm — which, against the paper's
+10X-scaled GSRC wire (0.03 Ohm/unit, 0.2 fF/unit), yields the same regime
+as the paper: ps-scale stage delays, slew-limited stage lengths of a couple
+thousand units, ns-scale tree latencies.
+"""
+
+from __future__ import annotations
+
+from repro.tech.buffers import BufferLibrary, BufferType
+from repro.tech.technology import Technology, WireModel
+
+#: GSRC bookshelf wire parasitics (per unit) before the paper's 10X scaling.
+GSRC_UNIT_RESISTANCE = 0.003  # Ohm / unit
+GSRC_UNIT_CAPACITANCE = 0.02e-15  # F / unit
+
+#: The paper's stress factor applied on top of the GSRC values.
+PAPER_WIRE_SCALE = 10.0
+
+
+def default_technology(wire_scale: float = PAPER_WIRE_SCALE) -> Technology:
+    """The 45 nm-style process used throughout the reproduction.
+
+    ``wire_scale`` multiplies the GSRC per-unit wire R and C; the paper
+    uses 10X ("mimics bigger chips that incur stringent slew constraints").
+    """
+    wire = WireModel(
+        GSRC_UNIT_RESISTANCE * wire_scale,
+        GSRC_UNIT_CAPACITANCE * wire_scale,
+    )
+    return Technology(
+        name=f"ptm45-like-w{wire_scale:g}x",
+        vdd=1.0,
+        nmos_vth=0.30,
+        pmos_vth=0.32,
+        alpha=1.4,
+        # Calibrated so Reff(20X) ~ 100 Ohm: Idsat(1X) = K * 0.7^1.4.
+        nmos_k=4.1e-4,
+        pmos_k=4.1e-4,
+        gate_cap_per_x=1.5e-15,
+        drain_cap_per_x=0.9e-15,
+        wire=wire,
+    )
+
+
+def cts_buffer_library() -> BufferLibrary:
+    """The 3-buffer library the paper synthesizes with (Sec. 5.1)."""
+    return BufferLibrary(
+        [
+            BufferType("BUF10X", 10.0),
+            BufferType("BUF20X", 20.0),
+            BufferType("BUF30X", 30.0),
+        ]
+    )
+
+
+def default_buffer_library() -> BufferLibrary:
+    """Alias for :func:`cts_buffer_library` (the library used by CTS)."""
+    return cts_buffer_library()
+
+
+def sizing_sweep_library() -> BufferLibrary:
+    """A wider size sweep for characterization studies (Fig. 1.1 etc.)."""
+    return BufferLibrary(
+        [
+            BufferType("BUF2X", 2.0),
+            BufferType("BUF5X", 5.0),
+            BufferType("BUF10X", 10.0),
+            BufferType("BUF20X", 20.0),
+            BufferType("BUF30X", 30.0),
+            BufferType("BUF40X", 40.0),
+        ]
+    )

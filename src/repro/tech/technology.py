@@ -1,0 +1,89 @@
+"""Process/technology parameters shared by simulation and synthesis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Per-unit-length electrical properties of the (single) wire type.
+
+    The paper uses one wire type with unit resistance 0.03 Ohm/unit and
+    unit capacitance 0.2 fF/unit — 10X the GSRC bookshelf values, chosen to
+    mimic big chips with stringent slew constraints.
+    """
+
+    resistance_per_unit: float  # Ohm per layout unit
+    capacitance_per_unit: float  # Farad per layout unit
+
+    def total_r(self, length: float) -> float:
+        """Total resistance of a wire of the given length (Ohm)."""
+        return self.resistance_per_unit * length
+
+    def total_c(self, length: float) -> float:
+        """Total capacitance of a wire of the given length (Farad)."""
+        return self.capacitance_per_unit * length
+
+    def rc_delay(self, length: float, load_cap: float = 0.0) -> float:
+        """Distributed Elmore delay of the wire driving ``load_cap``.
+
+        ``0.5 * R * C + R * C_load`` — the standard distributed-RC Elmore
+        expression, used for coarse estimates only (Ch. 3 of the paper shows
+        it is too inaccurate for CTS, which is why the characterized library
+        exists).
+        """
+        r = self.total_r(length)
+        return r * (0.5 * self.total_c(length) + load_cap)
+
+    def scaled(self, factor: float) -> "WireModel":
+        """Wire with both R and C scaled by ``factor`` (the paper's 10X)."""
+        return WireModel(
+            self.resistance_per_unit * factor,
+            self.capacitance_per_unit * factor,
+        )
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process corner for the mini-SPICE substrate.
+
+    MOSFET parameters follow the Sakurai-Newton alpha-power law, which is
+    the standard compact model for hand analysis of short-channel CMOS; it
+    reproduces the behaviours the paper's flow depends on (slew-dependent
+    intrinsic delay, curved output waveforms, saturation-limited drive).
+
+    Transistor strength/capacitance values are *per relative width unit*
+    ("1X"); a buffer of size kX scales currents and caps by k.
+    """
+
+    name: str
+    vdd: float  # supply voltage (V)
+    # Alpha-power-law parameters, per 1X of relative device width.
+    nmos_vth: float  # NMOS threshold (V)
+    pmos_vth: float  # PMOS threshold magnitude (V)
+    alpha: float  # velocity-saturation index (2.0 = long channel)
+    nmos_k: float  # NMOS saturation transconductance (A / V^alpha per X)
+    pmos_k: float  # PMOS saturation transconductance (A / V^alpha per X)
+    # Device capacitances per X of width.
+    gate_cap_per_x: float  # gate capacitance of a 1X inverter input (F)
+    drain_cap_per_x: float  # drain/diffusion capacitance at a 1X output (F)
+    wire: WireModel = field(
+        default_factory=lambda: WireModel(0.03, 0.2e-15)
+    )
+    # Measurement thresholds (fractions of Vdd).
+    slew_lo: float = 0.1
+    slew_hi: float = 0.9
+    delay_threshold: float = 0.5
+
+    def with_wire_scaling(self, factor: float) -> "Technology":
+        """Copy of this technology with wire R and C scaled by ``factor``."""
+        return replace(self, wire=self.wire.scaled(factor))
+
+    def logic_threshold_voltage(self) -> float:
+        """Voltage of the delay-measurement threshold (50% Vdd)."""
+        return self.delay_threshold * self.vdd
+
+    def slew_window_voltages(self) -> tuple[float, float]:
+        """Low/high voltages bounding the slew measurement window."""
+        return (self.slew_lo * self.vdd, self.slew_hi * self.vdd)

@@ -1,0 +1,49 @@
+"""Timing: waveforms, delay models, and the library-driven analysis engine.
+
+Three tiers of delay/slew estimation coexist, mirroring Chapter 3 of the
+paper:
+
+- :mod:`repro.timing.elmore` — Elmore delay on RC trees (fast, inaccurate);
+- :mod:`repro.timing.moments` — higher-order moment metrics (D2M and the
+  PERI ramp extension) that beat Elmore but still miss waveform-shape
+  effects;
+- :mod:`repro.timing.analysis` — the paper's approach: a top-down engine
+  driven by the SPICE-characterized delay/slew library
+  (:mod:`repro.charlib`), accurate enough to guide aggressive buffer
+  insertion.
+"""
+
+from repro.timing.waveform import (
+    Waveform,
+    ramp_waveform,
+    smooth_curve_waveform,
+    measure_slew,
+)
+from repro.timing.rctree import RCTree, RCNode
+from repro.timing.elmore import elmore_delays, elmore_delay_to, wire_elmore_delay
+from repro.timing.moments import (
+    rc_tree_moments,
+    d2m_delay,
+    lognormal_step_slew,
+    elmore_slew_peri,
+    ramp_output_delay_peri,
+    node_metrics,
+)
+
+__all__ = [
+    "Waveform",
+    "ramp_waveform",
+    "smooth_curve_waveform",
+    "measure_slew",
+    "RCTree",
+    "RCNode",
+    "elmore_delays",
+    "elmore_delay_to",
+    "wire_elmore_delay",
+    "rc_tree_moments",
+    "d2m_delay",
+    "lognormal_step_slew",
+    "elmore_slew_peri",
+    "ramp_output_delay_peri",
+    "node_metrics",
+]

@@ -1,0 +1,55 @@
+"""Elmore delay on RC trees.
+
+The Elmore delay at node *i* is the first moment of the impulse response:
+
+    T_i = sum over nodes k of R(path(root,i) intersect path(root,k)) * C_k
+
+computed in linear time with two tree traversals. The paper (Sec. 3.1)
+uses it as the canonical *insufficient* model: it overestimates delay,
+ignores resistive shielding and cannot produce slews — which is why the
+characterized library exists. It remains useful for coarse estimates and
+for the DME baselines.
+"""
+
+from __future__ import annotations
+
+from repro.timing.rctree import RCTree
+
+
+def elmore_delays(tree: RCTree) -> dict[str, float]:
+    """Elmore delay from the driver to every node of the tree.
+
+    Includes the driver resistance times total load as the first stage.
+    """
+    caps_down = tree.subtree_caps()
+    delays: dict[str, float] = {}
+    root_delay = tree.driver_resistance * caps_down[tree.root.name]
+    delays[tree.root.name] = root_delay
+    for node in tree.nodes():
+        if node.is_root():
+            continue
+        delays[node.name] = (
+            delays[node.parent.name] + node.resistance * caps_down[node.name]
+        )
+    return delays
+
+
+def elmore_delay_to(tree: RCTree, name: str) -> float:
+    """Elmore delay from the driver to one node."""
+    return elmore_delays(tree)[name]
+
+
+def wire_elmore_delay(
+    length: float,
+    wire,
+    load_cap: float,
+    driver_resistance: float = 0.0,
+) -> float:
+    """Closed-form Elmore delay of a single distributed wire.
+
+    ``R_drv*(C_wire + C_load) + R_wire*(C_wire/2 + C_load)`` — the textbook
+    expression used by the zero-skew merge formula (Sec. 2.2).
+    """
+    r = wire.total_r(length)
+    c = wire.total_c(length)
+    return driver_resistance * (c + load_cap) + r * (0.5 * c + load_cap)

@@ -1,0 +1,120 @@
+"""Lumped RC trees for analytic delay models.
+
+An :class:`RCTree` is the abstraction the Elmore and moment-based metrics
+operate on: a tree of nodes, each with a grounded capacitance, connected by
+resistive edges, driven at the root through an optional source resistance.
+Distributed wires are represented by their standard lumped equivalents
+(the caller chooses the segmentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RCNode:
+    """One node of an RC tree."""
+
+    name: str
+    cap: float = 0.0  # grounded capacitance (F)
+    parent: "RCNode | None" = None
+    resistance: float = 0.0  # resistance of the edge to the parent (Ohm)
+    children: list["RCNode"] = field(default_factory=list)
+
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def path_to_root(self) -> list["RCNode"]:
+        """Nodes from self up to (and including) the root."""
+        path = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            path.append(node)
+        return path
+
+
+class RCTree:
+    """A tree of :class:`RCNode` with a driver at the root.
+
+    ``driver_resistance`` models the switching resistance of the driving
+    gate for metrics that need a lumped driver (the characterized library
+    never uses it — it has the real transistor behaviour baked in).
+    """
+
+    def __init__(self, root_name: str = "root", driver_resistance: float = 0.0):
+        self.root = RCNode(root_name)
+        self.driver_resistance = driver_resistance
+        self._nodes: dict[str, RCNode] = {root_name: self.root}
+
+    def add_node(self, name: str, parent: str, resistance: float, cap: float) -> RCNode:
+        """Attach a new node under ``parent`` with the given edge R and node C."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        if resistance < 0 or cap < 0:
+            raise ValueError("resistance and capacitance must be non-negative")
+        parent_node = self[parent]
+        node = RCNode(name, cap, parent_node, resistance)
+        parent_node.children.append(node)
+        self._nodes[name] = node
+        return node
+
+    def add_cap(self, name: str, cap: float) -> None:
+        """Add extra grounded capacitance at an existing node."""
+        self[name].cap += cap
+
+    def add_wire(
+        self, start: str, end: str, length: float, wire, n_segments: int = 8
+    ) -> None:
+        """Attach a distributed wire as ``n_segments`` lumped RC sections.
+
+        ``wire`` is a :class:`repro.tech.technology.WireModel`.
+        """
+        if n_segments < 1:
+            raise ValueError("need at least one segment")
+        total_r = wire.total_r(length)
+        total_c = wire.total_c(length)
+        seg_r = total_r / n_segments
+        seg_c = total_c / n_segments
+        self[start].cap += seg_c / 2.0
+        prev = start
+        for i in range(1, n_segments):
+            name = f"{end}__seg{i}"
+            self.add_node(name, prev, seg_r, seg_c)
+            prev = name
+        self.add_node(end, prev, seg_r, seg_c / 2.0)
+
+    def __getitem__(self, name: str) -> RCNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no RC node named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> list[RCNode]:
+        """All nodes in topological (parent-before-child) order."""
+        order: list[RCNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children)
+        return order
+
+    def leaves(self) -> list[RCNode]:
+        return [n for n in self.nodes() if not n.children]
+
+    def total_cap(self) -> float:
+        return sum(n.cap for n in self.nodes())
+
+    def subtree_caps(self) -> dict[str, float]:
+        """Downstream capacitance (including own) of every node."""
+        caps: dict[str, float] = {}
+        for node in reversed(self.nodes()):
+            caps[node.name] = node.cap + sum(
+                caps[c.name] for c in node.children
+            )
+        return caps

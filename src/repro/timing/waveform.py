@@ -1,0 +1,170 @@
+"""Sampled voltage waveforms and threshold measurements.
+
+Every delay/slew number in the reproduction bottoms out in threshold
+crossings of sampled waveforms, exactly like the paper's SPICE
+measurements: delay at the 50% Vdd crossing, slew as the 10%-90% rise
+time. Crossings are located with linear interpolation between samples,
+giving sub-timestep resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Waveform:
+    """A monotone-sampled voltage waveform ``v(t)``.
+
+    Times are in seconds, strictly increasing. The waveform is treated as
+    constant beyond its sampled span.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self, times: np.ndarray, values: np.ndarray):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise ValueError("times and values must be equal-length 1-D arrays")
+        if times.size < 2:
+            raise ValueError("waveform needs at least two samples")
+        if not np.all(np.diff(times) > 0):
+            raise ValueError("times must be strictly increasing")
+        self.times = times
+        self.values = values
+
+    def __repr__(self) -> str:
+        return (
+            f"Waveform({self.times.size} pts, t=[{self.times[0]:.3e},"
+            f" {self.times[-1]:.3e}], v=[{self.values.min():.3f},"
+            f" {self.values.max():.3f}])"
+        )
+
+    @property
+    def v_final(self) -> float:
+        return float(self.values[-1])
+
+    @property
+    def v_initial(self) -> float:
+        return float(self.values[0])
+
+    def value_at(self, t: float) -> float:
+        """Voltage at time ``t`` (linear interpolation, clamped ends)."""
+        return float(np.interp(t, self.times, self.values))
+
+    def cross_time(self, threshold: float, rising: bool = True) -> float:
+        """Time of the first crossing of ``threshold``.
+
+        For ``rising`` waveforms, the first sample interval where the value
+        reaches the threshold from below; for falling, from above. Raises
+        ``ValueError`` when the waveform never crosses.
+        """
+        v = self.values if rising else -self.values
+        thr = threshold if rising else -threshold
+        above = v >= thr
+        if above[0]:
+            return float(self.times[0])
+        idx = np.argmax(above)
+        if not above[idx]:
+            raise ValueError(
+                f"waveform never crosses {threshold} ({'rising' if rising else 'falling'})"
+            )
+        t0, t1 = self.times[idx - 1], self.times[idx]
+        v0, v1 = v[idx - 1], v[idx]
+        if v1 == v0:
+            return float(t1)
+        frac = (thr - v0) / (v1 - v0)
+        return float(t0 + frac * (t1 - t0))
+
+    def slew(self, vdd: float, lo: float = 0.1, hi: float = 0.9, rising: bool = True) -> float:
+        """10%-90% (by default) transition time, in seconds."""
+        t_lo = self.cross_time(lo * vdd, rising)
+        t_hi = self.cross_time(hi * vdd, rising)
+        return abs(t_hi - t_lo)
+
+    def delay_to(self, other: "Waveform", vdd: float, threshold: float = 0.5, rising: bool = True) -> float:
+        """50% crossing of ``other`` minus 50% crossing of ``self``."""
+        return other.cross_time(threshold * vdd, rising) - self.cross_time(
+            threshold * vdd, rising
+        )
+
+    def shifted(self, dt: float) -> "Waveform":
+        """Copy of the waveform translated by ``dt`` in time."""
+        return Waveform(self.times + dt, self.values.copy())
+
+    def resampled(self, times: np.ndarray) -> "Waveform":
+        """Waveform re-evaluated on a new time base."""
+        return Waveform(times, np.interp(times, self.times, self.values))
+
+    def windowed(self, t0: float, t1: float) -> "Waveform":
+        """Sub-waveform over [t0, t1] with interpolated end samples."""
+        if t1 <= t0:
+            raise ValueError("empty window")
+        inner = (self.times > t0) & (self.times < t1)
+        times = np.concatenate(([t0], self.times[inner], [t1]))
+        values = np.interp(times, self.times, self.values)
+        return Waveform(times, values)
+
+
+def ramp_waveform(
+    vdd: float,
+    slew: float,
+    t_start: float = 0.0,
+    t_end: float | None = None,
+    v_low: float = 0.0,
+    n_flat: int = 8,
+    lo: float = 0.1,
+    hi: float = 0.9,
+) -> Waveform:
+    """An ideal saturated-ramp rising waveform with the given 10-90 slew.
+
+    A linear 0-to-Vdd ramp whose 10%-90% transition time equals ``slew``
+    (so the full 0-100% ramp lasts ``slew / (hi - lo)``), starting at
+    ``t_start`` and held flat afterwards until ``t_end``.
+    """
+    if slew <= 0:
+        raise ValueError("slew must be positive")
+    full = slew / (hi - lo)
+    if t_end is None:
+        t_end = t_start + 4.0 * full
+    ramp_t = np.linspace(t_start, t_start + full, 32)
+    ramp_v = v_low + (vdd - v_low) * (ramp_t - t_start) / full
+    tail_t = np.linspace(t_start + full, t_end, n_flat)[1:]
+    tail_v = np.full(tail_t.shape, vdd)
+    head_t = np.array([t_start - max(full, 1e-12)])
+    head_v = np.array([v_low])
+    return Waveform(
+        np.concatenate([head_t, ramp_t, tail_t]),
+        np.concatenate([head_v, ramp_v, tail_v]),
+    )
+
+
+def smooth_curve_waveform(
+    vdd: float,
+    slew: float,
+    t_start: float = 0.0,
+    t_end: float | None = None,
+    sharpness: float = 1.0,
+) -> Waveform:
+    """A buffer-output-like "curved" rising waveform with the given slew.
+
+    Uses a logistic (S-shaped) profile scaled so the 10%-90% transition
+    time equals ``slew``. This reproduces the shape contrast of the paper's
+    curve-vs-ramp experiment (Fig. 3.2): same measured slew, different
+    waveform, different downstream delay.
+    """
+    if slew <= 0:
+        raise ValueError("slew must be positive")
+    # Logistic: v = vdd / (1 + exp(-(t - tm)/tau)); 10-90 window = tau*2*ln 9.
+    tau = slew / (2.0 * np.log(9.0)) / sharpness
+    t_mid = t_start + 3.0 * slew
+    if t_end is None:
+        t_end = t_mid + 8.0 * slew
+    times = np.linspace(t_start - 2.0 * slew, t_end, 512)
+    values = vdd / (1.0 + np.exp(-(times - t_mid) / tau))
+    return Waveform(times, values)
+
+
+def measure_slew(wave: Waveform, vdd: float, lo: float = 0.1, hi: float = 0.9) -> float:
+    """Module-level convenience for :meth:`Waveform.slew` (rising)."""
+    return wave.slew(vdd, lo, hi, rising=True)

@@ -1,0 +1,41 @@
+"""Clock tree data structures.
+
+A clock tree is a rooted tree of :class:`TreeNode` objects: a SOURCE at
+the root, SINKs at the leaves, MERGE nodes where sub-trees join, BUFFER
+nodes wherever a buffer was inserted (merge nodes *or* anywhere along
+routing paths — the point of the paper), and STEINER nodes for route
+bends/taps. Edges carry explicit wire lengths (which may exceed the
+geometric distance when wire-snaking detours were taken).
+"""
+
+from repro.tree.nodes import NodeKind, TreeNode
+from repro.tree.clocktree import ClockTree
+from repro.tree.stages_map import StagePath, stage_structure, tree_stages, stage_spec_for
+from repro.tree.netlist_export import tree_circuit, tree_netlist
+from repro.tree.validate import validate_tree, TreeInvariantError
+from repro.tree.export import (
+    save_tree_json,
+    load_tree_json,
+    tree_to_dict,
+    tree_from_dict,
+    tree_to_dot,
+)
+
+__all__ = [
+    "save_tree_json",
+    "load_tree_json",
+    "tree_to_dict",
+    "tree_from_dict",
+    "tree_to_dot",
+    "NodeKind",
+    "TreeNode",
+    "ClockTree",
+    "StagePath",
+    "stage_structure",
+    "tree_stages",
+    "stage_spec_for",
+    "tree_circuit",
+    "tree_netlist",
+    "validate_tree",
+    "TreeInvariantError",
+]

@@ -1,0 +1,111 @@
+"""The ClockTree container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.point import Point
+from repro.tree.nodes import NodeKind, TreeNode, make_source
+
+
+class ClockTree:
+    """A complete clock tree: a SOURCE root plus the synthesized network.
+
+    Construction: build the network bottom-up as free-standing
+    :class:`TreeNode` fragments, then wrap the final root::
+
+        tree = ClockTree.from_network(source_location, network_root)
+    """
+
+    def __init__(self, root: TreeNode):
+        if root.kind is not NodeKind.SOURCE:
+            raise ValueError("clock tree root must be a SOURCE node")
+        self.root = root
+
+    @classmethod
+    def from_network(
+        cls,
+        source_location: Point,
+        network_root: TreeNode,
+        wire_length: float | None = None,
+        name: str = "clk",
+    ) -> "ClockTree":
+        """Attach a source at ``source_location`` above the network root."""
+        source = make_source(source_location, name=name)
+        source.attach(network_root, wire_length)
+        return cls(source)
+
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[TreeNode]:
+        return list(self.root.walk())
+
+    def sinks(self) -> list[TreeNode]:
+        return self.root.sinks()
+
+    def buffers(self) -> list[TreeNode]:
+        return self.root.buffers()
+
+    def node_by_name(self, name: str) -> TreeNode:
+        for node in self.root.walk():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def total_wirelength(self) -> float:
+        return sum(n.wire_to_parent for n in self.root.walk())
+
+    def buffer_count(self) -> int:
+        return len(self.buffers())
+
+    def buffer_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for b in self.buffers():
+            hist[b.buffer.name] = hist.get(b.buffer.name, 0) + 1
+        return hist
+
+    def depth(self) -> int:
+        """Maximum number of edges from root to any leaf."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            stack.extend((c, d + 1) for c in node.children)
+        return best
+
+    def stats(self) -> dict:
+        """Summary statistics for reports."""
+        sinks = self.sinks()
+        return {
+            "n_sinks": len(sinks),
+            "n_buffers": self.buffer_count(),
+            "n_nodes": len(self.nodes()),
+            "wirelength": self.total_wirelength(),
+            "depth": self.depth(),
+            "buffers": self.buffer_histogram(),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<ClockTree sinks={s['n_sinks']} buffers={s['n_buffers']}"
+            f" wl={s['wirelength']:.0f}>"
+        )
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """A (parent, child) pair with its wire length; convenience for iteration."""
+
+    parent: TreeNode
+    child: TreeNode
+    length: float
+
+
+def tree_edges(root: TreeNode) -> list[TreeEdge]:
+    return [
+        TreeEdge(n.parent, n, n.wire_to_parent)
+        for n in root.walk()
+        if n.parent is not None
+    ]

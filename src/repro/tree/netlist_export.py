@@ -1,0 +1,60 @@
+"""Flatten a clock tree into a mini-SPICE circuit / SPICE text netlist.
+
+The flat circuit is what the paper calls "the clock tree netlist" whose
+SPICE simulation produces the reported worst slew, skew and latency. For
+large trees the flat form is exported for inspection, while actual
+verification runs stage-by-stage (:mod:`repro.evalx.metrics`), which is
+electrically equivalent and far faster.
+"""
+
+from __future__ import annotations
+
+from repro.spice.circuit import Circuit
+from repro.spice.netlist import write_netlist
+from repro.tech.technology import Technology
+from repro.timing.waveform import Waveform, ramp_waveform
+from repro.tree.nodes import NodeKind, TreeNode
+
+#: Default slew of the ideal ramp driving the clock source.
+DEFAULT_SOURCE_SLEW = 60.0e-12
+
+
+def tree_circuit(
+    root: TreeNode,
+    tech: Technology,
+    source_wave: Waveform | None = None,
+    segment_length: float = 400.0,
+) -> Circuit:
+    """Build the flat transistor-level circuit of the whole tree."""
+    if source_wave is None:
+        source_wave = ramp_waveform(tech.vdd, DEFAULT_SOURCE_SLEW, t_start=50e-12)
+    circuit = Circuit(tech, title=f"clock tree ({root.name})")
+
+    def net_name(node: TreeNode) -> str:
+        return f"n_{node.name}"
+
+    circuit.add_vsource(net_name(root), source_wave)
+    for node in root.walk():
+        if node.parent is not None:
+            # The wire from the parent lands on the buffer *input*; the
+            # buffer then drives this node's net from its output side.
+            target = (
+                f"n_{node.name}_in" if node.kind is NodeKind.BUFFER else net_name(node)
+            )
+            circuit.add_wire(
+                net_name(node.parent), target, node.wire_to_parent, segment_length
+            )
+        if node.kind is NodeKind.BUFFER:
+            circuit.add_buffer(f"n_{node.name}_in", net_name(node), node.buffer)
+        elif node.kind is NodeKind.SINK:
+            circuit.add_cap(net_name(node), node.cap)
+    return circuit
+
+
+def tree_netlist(
+    root: TreeNode,
+    tech: Technology,
+    source_wave: Waveform | None = None,
+) -> str:
+    """SPICE text netlist of the whole tree."""
+    return write_netlist(tree_circuit(root, tech, source_wave))

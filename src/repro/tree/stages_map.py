@@ -1,0 +1,149 @@
+"""Mapping clock trees onto simulation/analysis stages.
+
+A *stage* is a maximal unbuffered region: it starts at a stage root (the
+SOURCE or a BUFFER) and extends through wires, STEINER bends and MERGE
+nodes until it reaches the next BUFFER inputs or SINKs, which act as the
+stage's capacitive loads. Because CMOS gates are unidirectional this
+decomposition is electrically exact (see :mod:`repro.spice.stages`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spice.stages import STAGE_ROOT, StageSpec, StageWire
+from repro.tech.technology import Technology
+from repro.tree.nodes import NodeKind, TreeNode
+
+
+@dataclass
+class StagePath:
+    """A maximal unbuffered path within a stage.
+
+    ``length`` is the summed wire length from the path's start to ``end``;
+    STEINER nodes along the way are absorbed into the length. ``end`` is a
+    BUFFER (stage load), SINK (stage load) or MERGE (with ``branches``
+    holding the continuation paths).
+    """
+
+    length: float
+    end: TreeNode
+    branches: list["StagePath"] = field(default_factory=list)
+
+    @property
+    def is_load(self) -> bool:
+        return not self.branches
+
+    def max_branch_depth(self) -> int:
+        """0 for a plain load path, 1 for one merge level, etc."""
+        if not self.branches:
+            return 0
+        return 1 + max(b.max_branch_depth() for b in self.branches)
+
+
+def _trace_path(start_child: TreeNode, initial_length: float) -> StagePath:
+    """Follow wire from a node's child until a load or merge is reached."""
+    length = initial_length
+    node = start_child
+    while True:
+        if node.kind in (NodeKind.BUFFER, NodeKind.SINK):
+            return StagePath(length, node)
+        if node.kind is NodeKind.MERGE:
+            if not node.children:
+                # Degenerate merge acting as a cap-less endpoint.
+                return StagePath(length, node)
+            branches = [
+                _trace_path(child, child.wire_to_parent)
+                for child in node.children
+            ]
+            if len(branches) == 1:
+                # Pass-through merge: absorb into this path.
+                only = branches[0]
+                return StagePath(length + only.length, only.end, only.branches)
+            return StagePath(length, node, branches)
+        if node.kind is NodeKind.STEINER:
+            if len(node.children) == 0:
+                return StagePath(length, node)
+            if len(node.children) == 1:
+                child = node.children[0]
+                length += child.wire_to_parent
+                node = child
+                continue
+            branches = [
+                _trace_path(child, child.wire_to_parent)
+                for child in node.children
+            ]
+            return StagePath(length, node, branches)
+        raise ValueError(f"unexpected {node.kind} inside a stage")
+
+
+def stage_structure(stage_root: TreeNode) -> StagePath | None:
+    """Structure of the stage rooted at a SOURCE/BUFFER node.
+
+    Returns None for a buffer with no children (dangling driver).
+    """
+    if not stage_root.is_stage_root():
+        raise ValueError(f"{stage_root} is not a stage root")
+    if not stage_root.children:
+        return None
+    if len(stage_root.children) == 1:
+        child = stage_root.children[0]
+        return _trace_path(child, child.wire_to_parent)
+    branches = [
+        _trace_path(child, child.wire_to_parent) for child in stage_root.children
+    ]
+    return StagePath(0.0, stage_root, branches)
+
+
+def tree_stages(root: TreeNode) -> list[TreeNode]:
+    """All stage roots of the tree, in topological (root-first) order."""
+    return [n for n in root.walk() if n.is_stage_root()]
+
+
+def _load_cap(node: TreeNode, tech: Technology) -> float:
+    if node.kind is NodeKind.BUFFER:
+        return node.buffer.input_cap(tech)
+    if node.kind is NodeKind.SINK:
+        return node.cap
+    return 0.0
+
+
+def stage_spec_for(
+    stage_root: TreeNode, tech: Technology
+) -> tuple[StageSpec, dict[int, TreeNode]]:
+    """Build the simulate-able :class:`StageSpec` of a stage.
+
+    Returns the spec plus a map from spec node ids back to the tree nodes
+    at wire endpoints (loads and merge points), so measured waveforms can
+    be attributed to tree nodes.
+    """
+    structure = stage_structure(stage_root)
+    spec = StageSpec(
+        drive=stage_root.buffer if stage_root.kind is NodeKind.BUFFER else None
+    )
+    id_map: dict[int, TreeNode] = {STAGE_ROOT: stage_root}
+    counter = [STAGE_ROOT]
+
+    def fresh_id() -> int:
+        counter[0] += 1
+        return counter[0]
+
+    def emit(path: StagePath, parent_id: int) -> None:
+        node_id = fresh_id()
+        spec.wires.append(StageWire(parent_id, node_id, path.length))
+        id_map[node_id] = path.end
+        cap = _load_cap(path.end, tech)
+        if cap > 0:
+            spec.load_caps[node_id] = cap
+        for branch in path.branches:
+            emit(branch, node_id)
+
+    if structure is not None:
+        if structure.end is stage_root:
+            # Root itself branches immediately.
+            for branch in structure.branches:
+                emit(branch, STAGE_ROOT)
+        else:
+            emit(structure, STAGE_ROOT)
+    spec.validate()
+    return spec, id_map

@@ -1,0 +1,55 @@
+"""Shared fixtures: one technology / library / engine per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.charlib import load_default_library
+from repro.geom import Point
+from repro.tech import cts_buffer_library, default_technology
+from repro.timing.analysis import LibraryTimingEngine
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def buffers():
+    return cts_buffer_library()
+
+
+@pytest.fixture(scope="session")
+def library(tech):
+    """The packaged (prebuilt) delay/slew library."""
+    return load_default_library(tech)
+
+
+@pytest.fixture(scope="session")
+def engine(library, tech):
+    return LibraryTimingEngine(library, tech)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_sink_pairs(n: int, area: float, seed: int = 0) -> list[tuple[Point, float]]:
+    """Deterministic random sink sets for synthesis tests."""
+    gen = np.random.default_rng(seed)
+    return [
+        (Point(float(x), float(y)), float(c))
+        for x, y, c in zip(
+            gen.uniform(0, area, n),
+            gen.uniform(0, area, n),
+            gen.uniform(4e-15, 12e-15, n),
+        )
+    ]
+
+
+@pytest.fixture()
+def small_sinks():
+    return make_sink_pairs(8, 18000.0, seed=3)

@@ -1,0 +1,168 @@
+"""Balance stage (wire snaking) and binary search stage."""
+
+import pytest
+
+from repro.core.balance import snake_delay
+from repro.core.binary_search import binary_search_merge, evaluate_split
+from repro.core.options import CTSOptions
+from repro.geom.point import Point
+from repro.geom.segment import PathPolyline
+from repro.tech import cts_buffer_library
+from repro.tree.nodes import NodeKind, make_buffer, make_sink
+from repro.tree.validate import validate_tree
+
+
+@pytest.fixture(scope="module")
+def options():
+    return CTSOptions()
+
+
+@pytest.fixture(scope="module")
+def buffers():
+    return cts_buffer_library()
+
+
+class TestSnakeDelay:
+    def test_zero_target_is_noop(self, library, buffers, options):
+        sink = make_sink(Point(0, 0), 8e-15)
+        result = snake_delay(sink, 0.0, library, buffers, options, 8e-15)
+        assert result.new_root is sink
+        assert result.n_buffers == 0
+
+    @pytest.mark.parametrize("target_ps", [60.0, 150.0, 400.0])
+    def test_adds_requested_delay(self, library, buffers, options, engine, target_ps):
+        sink = make_sink(Point(0, 0), 8e-15)
+        target = target_ps * 1e-12
+        result = snake_delay(sink, target, library, buffers, options, 8e-15)
+        assert result.n_buffers >= 1
+        # The builder's own accounting lands near the target...
+        assert result.added_delay == pytest.approx(target, rel=0.35)
+        # ...and the timing engine agrees with the accounting.
+        bounds = engine.subtree_bounds(result.new_root, options.target_slew)
+        assert bounds.max_delay == pytest.approx(result.added_delay, rel=0.15)
+
+    def test_tiny_target_skipped(self, library, buffers, options):
+        """Delay below half a minimum buffer increment is left alone."""
+        sink = make_sink(Point(0, 0), 8e-15)
+        result = snake_delay(sink, 1e-12, library, buffers, options, 8e-15)
+        assert result.n_buffers == 0
+
+    def test_chain_is_structurally_valid(self, library, buffers, options):
+        sink = make_sink(Point(0, 0), 8e-15)
+        result = snake_delay(sink, 300e-12, library, buffers, options, 8e-15)
+        validate_tree(result.new_root)
+        # Snake wires fold in place: nodes share the root's location.
+        for node in result.new_root.walk():
+            assert node.location == sink.location
+
+    def test_snake_respects_slew_target(self, library, buffers, options, engine):
+        sink = make_sink(Point(0, 0), 8e-15)
+        result = snake_delay(sink, 500e-12, library, buffers, options, 8e-15)
+        bounds = engine.subtree_bounds(result.new_root, options.target_slew)
+        assert bounds.worst_slew <= options.target_slew * 1.05
+
+
+class TestBinarySearch:
+    def make_sides(self, buffers, left_delay_wire=1000.0, right_delay_wire=1000.0):
+        buf = buffers["BUF20X"]
+        v1 = make_buffer(Point(0, 0), buf)
+        v1.attach(make_sink(Point(-left_delay_wire, 0), 8e-15))
+        v2 = make_buffer(Point(4000, 0), buf)
+        v2.attach(make_sink(Point(4000 + right_delay_wire, 0), 8e-15))
+        span = PathPolyline([Point(0, 0), Point(4000, 0)])
+        return v1, v2, span
+
+    def test_balanced_sides_meet_in_middle(self, engine, buffers, options):
+        v1, v2, span = self.make_sides(buffers)
+        pos = binary_search_merge(
+            engine, "BUF30X", options.target_slew, v1, v2, span,
+            slew_target=options.target_slew,
+        )
+        assert pos.ratio == pytest.approx(0.5, abs=0.1)
+        assert abs(pos.delay_difference) < 1e-12
+
+    def test_unbalanced_shifts_toward_slow_side(self, engine, buffers, options):
+        # Pure delay balance (no slew clamp): the difference must null.
+        v1, v2, span = self.make_sides(buffers, left_delay_wire=2500.0, right_delay_wire=300.0)
+        pos = binary_search_merge(
+            engine, "BUF30X", options.target_slew, v1, v2, span,
+            slew_target=None,
+        )
+        assert pos.ratio < 0.45  # left is slower: M moves toward v1
+        assert abs(pos.delay_difference) < 2e-12
+
+    def test_lengths_sum_to_span(self, engine, buffers, options):
+        v1, v2, span = self.make_sides(buffers)
+        pos = binary_search_merge(
+            engine, "BUF30X", options.target_slew, v1, v2, span
+        )
+        assert pos.left_length + pos.right_length == pytest.approx(span.length)
+        assert pos.location == span.point_at_length(pos.left_length)
+
+    def test_disabled_uses_midpoint(self, engine, buffers, options):
+        v1, v2, span = self.make_sides(buffers, 2500.0, 300.0)
+        pos = binary_search_merge(
+            engine, "BUF30X", options.target_slew, v1, v2, span, enabled=False
+        )
+        assert pos.ratio == 0.5
+
+    def test_extreme_case_clamps_to_endpoint(self, engine, buffers, options):
+        """A hopeless imbalance (balance stage's job) pins M at one end."""
+        buf = buffers["BUF20X"]
+        v1 = make_buffer(Point(0, 0), buf)
+        chain = v1
+        # Big sub-tree below v1: several buffered stages of delay.
+        for i in range(4):
+            nxt = make_buffer(Point(0, -(i + 1) * 1500), buf)
+            chain.attach(nxt)
+            chain = nxt
+        chain.attach(make_sink(Point(0, -9000), 8e-15))
+        v2 = make_buffer(Point(1000, 0), buf)
+        v2.attach(make_sink(Point(1200, 0), 8e-15))
+        span = PathPolyline([Point(0, 0), Point(1000, 0)])
+        pos = binary_search_merge(
+            engine, "BUF30X", options.target_slew, v1, v2, span
+        )
+        assert pos.ratio == 0.0  # all wire to the fast side
+        assert pos.delay_difference > 0
+
+    def test_evaluate_split_slews_bounded_reporting(self, engine, buffers, options):
+        v1, v2, span = self.make_sides(buffers)
+        left, right, timing = evaluate_split(
+            engine, "BUF30X", options.target_slew, v1, v2, 2000.0, 2000.0
+        )
+        assert left.max_delay > 0 and right.max_delay > 0
+        assert timing.left_slew > 0 and timing.right_slew > 0
+
+    def test_slew_clamp_improves_violated_side(self, engine, buffers, options):
+        """The balanced r leaves the right wire slew-infeasible; with the
+        clamp enabled the chosen position must reduce that violation
+        (full feasibility may be impossible for long spans — corrective
+        insertion in merge-routing handles the remainder)."""
+        buf = buffers["BUF20X"]
+        v1 = make_buffer(Point(0, 0), buf)
+        mid = make_buffer(Point(0, -2000), buf)  # slow left side
+        v1.attach(mid)
+        mid.attach(make_sink(Point(0, -4500), 8e-15))
+        v2 = make_buffer(Point(6000, 0), buf)
+        v2.attach(make_sink(Point(6300, 0), 8e-15))
+        span = PathPolyline([Point(0, 0), Point(6000, 0)])
+        free = binary_search_merge(
+            engine, "BUF30X", options.target_slew, v1, v2, span,
+            slew_target=None,
+        )
+        clamped = binary_search_merge(
+            engine, "BUF30X", options.target_slew, v1, v2, span,
+            slew_target=options.target_slew,
+        )
+
+        def right_slew(pos):
+            __, __, timing = evaluate_split(
+                engine, "BUF30X", options.target_slew, v1, v2,
+                pos.left_length, pos.right_length,
+            )
+            return timing.right_slew
+
+        if right_slew(free) > options.target_slew:
+            assert right_slew(clamped) < right_slew(free)
+            assert clamped.ratio > free.ratio  # right wire shortened

@@ -1,0 +1,55 @@
+"""Bounded-skew DME: the wirelength-vs-budget trade-off (ref [4])."""
+
+import pytest
+
+from repro.baselines.bst import BoundedSkewDME
+from repro.baselines.dme import DMESynthesizer
+from repro.tree.validate import validate_tree
+
+from tests.conftest import make_sink_pairs
+from tests.test_baseline_dme import elmore_sink_delays
+
+
+class TestBoundedSkew:
+    def test_valid_tree(self, tech):
+        sinks = make_sink_pairs(9, 15000.0, seed=41)
+        result = BoundedSkewDME(tech, 20e-12).synthesize(sinks)
+        validate_tree(result.tree.root, expect_source_root=True)
+        assert len(result.tree.sinks()) == 9
+
+    @pytest.mark.parametrize("bound_ps", [0.0, 10.0, 40.0])
+    def test_elmore_skew_within_budget(self, tech, bound_ps):
+        sinks = make_sink_pairs(12, 20000.0, seed=43)
+        result = BoundedSkewDME(tech, bound_ps * 1e-12).synthesize(sinks)
+        delays = elmore_sink_delays(result.tree, tech)
+        spread = max(delays) - min(delays)
+        # Allowance for the lumped-vs-distributed wire approximation.
+        assert spread <= bound_ps * 1e-12 + 0.03 * max(delays) + 1e-15
+
+    def test_wirelength_monotone_in_budget(self, tech):
+        """The defining BST property: more budget, less wire."""
+        sinks = make_sink_pairs(14, 25000.0, seed=47)
+        wl = {}
+        for bound_ps in (0.0, 20.0, 60.0, 200.0):
+            result = BoundedSkewDME(tech, bound_ps * 1e-12).synthesize(sinks)
+            wl[bound_ps] = result.tree.total_wirelength()
+        assert wl[20.0] <= wl[0.0] + 1e-6
+        assert wl[60.0] <= wl[20.0] + 1e-6
+        assert wl[200.0] <= wl[60.0] + 1e-6
+        assert wl[200.0] < wl[0.0]  # strictly cheaper somewhere
+
+    def test_zero_budget_close_to_zero_skew_dme(self, tech):
+        """B = 0 degenerates to (approximately) the zero-skew tree."""
+        sinks = make_sink_pairs(8, 12000.0, seed=53)
+        bst = BoundedSkewDME(tech, 0.0).synthesize(sinks)
+        zst_tree = DMESynthesizer(tech).synthesize(sinks)
+        bst_delays = elmore_sink_delays(bst.tree, tech)
+        spread = max(bst_delays) - min(bst_delays)
+        assert spread < 0.05 * max(bst_delays) + 1e-15
+        assert bst.tree.total_wirelength() == pytest.approx(
+            zst_tree.total_wirelength(), rel=0.25
+        )
+
+    def test_negative_budget_rejected(self, tech):
+        with pytest.raises(ValueError):
+            BoundedSkewDME(tech, -1.0)

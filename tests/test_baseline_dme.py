@@ -1,0 +1,121 @@
+"""The classic DME baseline: exact zero-skew under Elmore."""
+
+import pytest
+
+from repro.baselines.dme import (
+    DMESynthesizer,
+    _extension_length,
+    zero_skew_merge_point,
+)
+from repro.geom import Point
+from repro.tech import default_technology
+from repro.timing.elmore import elmore_delays
+from repro.timing.rctree import RCTree
+from repro.tree.nodes import NodeKind
+from repro.tree.validate import validate_tree
+
+from tests.conftest import make_sink_pairs
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def elmore_sink_delays(tree, tech):
+    """Elmore delays of a (possibly snaked) clock tree's sinks."""
+    rc = RCTree("root")
+    sinks = []
+
+    def build(node, parent):
+        name = f"n{node.id}"
+        if node.wire_to_parent > 0:
+            rc.add_wire(parent, name, node.wire_to_parent, tech.wire, 6)
+        else:
+            rc.add_node(name, parent, 1e-6, 0.0)
+        if node.kind is NodeKind.SINK:
+            rc.add_cap(name, node.cap)
+            sinks.append(name)
+        for child in node.children:
+            build(child, name)
+
+    for child in tree.root.children:
+        build(child, "root")
+    delays = elmore_delays(rc)
+    return [delays[s] for s in sinks]
+
+
+class TestMergeFormula:
+    def test_symmetric_case(self, tech):
+        alpha = tech.wire.resistance_per_unit
+        beta = tech.wire.capacitance_per_unit
+        x = zero_skew_merge_point(0.0, 0.0, 10e-15, 10e-15, 1000.0, alpha, beta)
+        assert x == pytest.approx(0.5)
+
+    def test_slower_side_attracts_merge_point(self, tech):
+        alpha = tech.wire.resistance_per_unit
+        beta = tech.wire.capacitance_per_unit
+        # t1 > t2: merge point moves toward side 1 (x < 0.5).
+        x = zero_skew_merge_point(50e-12, 0.0, 10e-15, 10e-15, 2000.0, alpha, beta)
+        assert x < 0.5
+
+    def test_formula_actually_balances_elmore(self, tech):
+        """x from Eq. 2.5 must equalize the two Elmore delays."""
+        alpha = tech.wire.resistance_per_unit
+        beta = tech.wire.capacitance_per_unit
+        t1, t2 = 20e-12, 5e-12
+        c1, c2 = 15e-15, 8e-15
+        dist = 3000.0
+        x = zero_skew_merge_point(t1, t2, c1, c2, dist, alpha, beta)
+        assert 0 <= x <= 1
+        l1, l2 = x * dist, (1 - x) * dist
+        d1 = t1 + alpha * l1 * (beta * l1 / 2 + c1)
+        d2 = t2 + alpha * l2 * (beta * l2 / 2 + c2)
+        assert d1 == pytest.approx(d2, rel=1e-9)
+
+    def test_extension_length_quadratic(self, tech):
+        alpha = tech.wire.resistance_per_unit
+        beta = tech.wire.capacitance_per_unit
+        need = 30e-12
+        ext = _extension_length(0.0, need, 10e-15, alpha, beta)
+        added = alpha * ext * (beta * ext / 2 + 10e-15)
+        assert added == pytest.approx(need, rel=1e-9)
+
+    def test_extension_zero_when_not_needed(self, tech):
+        assert _extension_length(10e-12, 5e-12, 1e-15, 1, 1) == 0.0
+
+
+class TestDMESynthesis:
+    def test_structure_valid(self, tech):
+        sinks = make_sink_pairs(9, 12000.0, seed=4)
+        tree = DMESynthesizer(tech).synthesize(sinks)
+        validate_tree(tree.root, expect_source_root=True)
+        assert len(tree.sinks()) == 9
+        assert tree.buffer_count() == 0  # DME is unbuffered
+
+    @pytest.mark.parametrize("n", [2, 5, 16])
+    def test_zero_elmore_skew(self, tech, n):
+        """The defining property: all Elmore sink delays equal."""
+        sinks = make_sink_pairs(n, 15000.0, seed=n)
+        tree = DMESynthesizer(tech).synthesize(sinks)
+        delays = elmore_sink_delays(tree, tech)
+        spread = max(delays) - min(delays)
+        assert spread < 0.02 * max(delays) + 1e-15
+
+    def test_wirelength_reasonable(self, tech):
+        """No pathological snaking on a benign instance."""
+        sinks = make_sink_pairs(8, 10000.0, seed=2)
+        tree = DMESynthesizer(tech).synthesize(sinks)
+        # Wirelength within a small factor of the half-perimeter bound.
+        assert tree.total_wirelength() < 8 * 20000.0
+
+    def test_detour_case_handled(self, tech):
+        """One far sink forces x outside [0,1] -> wire snaking."""
+        sinks = [
+            (Point(0, 0), 8e-15),
+            (Point(100, 0), 8e-15),
+            (Point(20000, 0), 8e-15),
+        ]
+        tree = DMESynthesizer(tech).synthesize(sinks)
+        delays = elmore_sink_delays(tree, tech)
+        assert max(delays) - min(delays) < 0.02 * max(delays)

@@ -1,0 +1,71 @@
+"""Merge-node-only buffered CTS — the Table 5.1 comparison baselines."""
+
+import pytest
+
+from repro.baselines.merge_buffer import (
+    COMPARISON_POLICIES,
+    MergeBufferCTS,
+    MergeBufferPolicy,
+)
+from repro.core import AggressiveBufferedCTS
+from repro.evalx import evaluate_tree
+from repro.tree.nodes import NodeKind
+from repro.tree.validate import validate_tree
+
+from tests.conftest import make_sink_pairs
+
+
+class TestPolicies:
+    def test_three_comparison_policies(self):
+        assert set(COMPARISON_POLICIES) == {
+            "chen-wong96",
+            "chaturvedi-hu04",
+            "rajaram-pan06",
+        }
+
+    def test_invalid_sizing_rejected(self):
+        with pytest.raises(ValueError):
+            MergeBufferPolicy("bad", 1.0, "psychic")
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("policy", sorted(COMPARISON_POLICIES))
+    def test_valid_tree(self, tech, policy):
+        sinks = make_sink_pairs(7, 15000.0, seed=8)
+        cts = MergeBufferCTS(COMPARISON_POLICIES[policy], tech=tech)
+        result = cts.synthesize(sinks)
+        validate_tree(result.tree.root, expect_source_root=True)
+        assert len(result.tree.sinks()) == 7
+
+    def test_buffers_only_at_merge_nodes(self, tech):
+        """The defining restriction vs the paper's flow."""
+        sinks = make_sink_pairs(10, 30000.0, seed=6)
+        cts = MergeBufferCTS(COMPARISON_POLICIES["chaturvedi-hu04"], tech=tech)
+        result = cts.synthesize(sinks)
+        for buf in result.tree.buffers():
+            assert len(buf.children) == 1
+            child = buf.children[0]
+            assert child.kind is NodeKind.MERGE
+            assert buf.location.manhattan_to(child.location) < 1e-9
+
+    def test_eager_policy_buffers_more(self, tech):
+        sinks = make_sink_pairs(10, 25000.0, seed=3)
+        eager = MergeBufferCTS(COMPARISON_POLICIES["chen-wong96"], tech=tech)
+        lazy = MergeBufferCTS(COMPARISON_POLICIES["chaturvedi-hu04"], tech=tech)
+        n_eager = eager.synthesize(sinks).tree.buffer_count()
+        n_lazy = lazy.synthesize(sinks).tree.buffer_count()
+        assert n_eager >= n_lazy
+
+
+class TestComparisonClaim:
+    def test_baseline_violates_slew_where_ours_does_not(self, tech):
+        """Table 5.1's core story under 10X-stressed parasitics."""
+        sinks = make_sink_pairs(12, 50000.0, seed=11)
+        ours = AggressiveBufferedCTS(tech=tech).synthesize(sinks)
+        ours_metrics = evaluate_tree(ours.tree, tech, dt=2e-12)
+        base = MergeBufferCTS(
+            COMPARISON_POLICIES["chaturvedi-hu04"], tech=tech
+        ).synthesize(sinks)
+        base_metrics = evaluate_tree(base.tree, tech, dt=2e-12)
+        assert ours_metrics.worst_slew <= 100e-12
+        assert base_metrics.worst_slew > 100e-12

@@ -1,0 +1,158 @@
+"""Benchmark instances: generators, parsers, scaling."""
+
+import pytest
+
+from repro.benchio import (
+    GSRC_SINK_COUNTS,
+    ISPD_SINK_COUNTS,
+    BenchmarkInstance,
+    Sink,
+    clustered_instance,
+    gsrc_instance,
+    gsrc_suite,
+    ispd_instance,
+    ispd_suite,
+    parse_gsrc,
+    parse_ispd,
+    random_instance,
+)
+from repro.geom import Point
+
+
+class TestGenerators:
+    def test_random_instance_counts_and_bounds(self):
+        inst = random_instance(50, 10000.0, seed=1)
+        assert inst.n_sinks == 50
+        box = inst.bbox()
+        assert box.xmin >= 0 and box.xmax <= 10000
+
+    def test_seeded_determinism(self):
+        a = random_instance(20, 5000.0, seed=7)
+        b = random_instance(20, 5000.0, seed=7)
+        assert [s.location for s in a.sinks] == [s.location for s in b.sinks]
+        c = random_instance(20, 5000.0, seed=8)
+        assert [s.location for s in a.sinks] != [s.location for s in c.sinks]
+
+    def test_clustered_instance_clusters(self):
+        inst = clustered_instance(100, 50000.0, n_clusters=3, seed=2)
+        assert inst.n_sinks == 100
+        # Clustered: mean nearest-neighbor distance far below uniform.
+        pts = [s.location for s in inst.sinks]
+        nn = []
+        for i, p in enumerate(pts[:30]):
+            nn.append(min(p.manhattan_to(q) for j, q in enumerate(pts) if j != i))
+        uniform_spacing = 50000.0 / (100**0.5)
+        assert sum(nn) / len(nn) < uniform_spacing
+
+    def test_cap_range_respected(self):
+        inst = random_instance(30, 1000.0, seed=0, cap_range=(5e-15, 6e-15))
+        for sink in inst.sinks:
+            assert 5e-15 <= sink.cap <= 6e-15
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_instance(0, 100.0)
+        with pytest.raises(ValueError):
+            clustered_instance(10, 100.0, n_clusters=0)
+
+
+class TestSuites:
+    def test_gsrc_published_sink_counts(self):
+        assert GSRC_SINK_COUNTS == {
+            "r1": 267, "r2": 598, "r3": 862, "r4": 1903, "r5": 3101,
+        }
+        for inst in gsrc_suite():
+            assert inst.n_sinks == GSRC_SINK_COUNTS[inst.name]
+
+    def test_ispd_published_sink_counts(self):
+        assert sum(ISPD_SINK_COUNTS.values()) == 121 + 117 + 117 + 91 + 273 + 190 + 330
+        for inst in ispd_suite():
+            assert inst.n_sinks == ISPD_SINK_COUNTS[inst.name]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            gsrc_instance("r9")
+        with pytest.raises(KeyError):
+            ispd_instance("f99")
+
+    def test_ispd_larger_than_gsrc(self):
+        """The paper: ISPD chips have larger areas (harder slew)."""
+        r1 = gsrc_instance("r1").bbox()
+        fnb1 = ispd_instance("fnb1").bbox()
+        assert fnb1.half_perimeter > r1.half_perimeter
+
+
+class TestScaling:
+    def test_scaled_down(self):
+        inst = gsrc_instance("r1").scaled_down(40, seed=1)
+        assert inst.n_sinks == 40
+        assert inst.meta["scaled_from"] == 267
+        assert inst.name == "r1@40"
+
+    def test_scaled_down_noop_when_bigger(self):
+        inst = gsrc_instance("r1")
+        assert inst.scaled_down(1000) is inst
+
+    def test_scaled_down_deterministic(self):
+        a = gsrc_instance("r2").scaled_down(30, seed=5)
+        b = gsrc_instance("r2").scaled_down(30, seed=5)
+        assert [s.name for s in a.sinks] == [s.name for s in b.sinks]
+
+
+class TestParsers:
+    def test_parse_gsrc_roundtrip(self, tmp_path):
+        path = tmp_path / "toy.bst"
+        path.write_text(
+            "# toy benchmark\n"
+            "NumSinks : 3\n"
+            "s0 100.0 200.0 5e-15\n"
+            "s1 300.0 400.0 6e-15\n"
+            "s2 500.0 600.0 7e-15\n"
+        )
+        inst = parse_gsrc(path)
+        assert inst.n_sinks == 3
+        assert inst.sinks[1].location == Point(300.0, 400.0)
+        assert inst.sinks[2].cap == pytest.approx(7e-15)
+
+    def test_parse_gsrc_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.bst"
+        path.write_text("NumSinks : 5\ns0 0 0 1e-15\n")
+        with pytest.raises(ValueError):
+            parse_gsrc(path)
+
+    def test_parse_ispd(self, tmp_path):
+        path = tmp_path / "toy.ispd"
+        path.write_text(
+            "num sink 2\n"
+            "1 1000 2000 35\n"
+            "2 3000 4000 20\n"
+            "num blockage 1\n"
+            "100 100 900 900\n"
+        )
+        inst = parse_ispd(path)
+        assert inst.n_sinks == 2
+        assert inst.sinks[0].cap == pytest.approx(35e-15)  # fF -> F
+        assert len(inst.blockages) == 1
+
+    def test_parse_ispd_garbage_rejected(self, tmp_path):
+        path = tmp_path / "bad.ispd"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(ValueError):
+            parse_ispd(path)
+
+
+class TestInstanceValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkInstance("x", [])
+
+    def test_duplicate_names_rejected(self):
+        sinks = [Sink("a", Point(0, 0), 1e-15), Sink("a", Point(1, 1), 1e-15)]
+        with pytest.raises(ValueError):
+            BenchmarkInstance("x", sinks)
+
+    def test_sink_pairs(self):
+        inst = random_instance(5, 100.0, seed=1)
+        pairs = inst.sink_pairs()
+        assert len(pairs) == 5
+        assert pairs[0][0] == inst.sinks[0].location

@@ -1,0 +1,110 @@
+"""The characterized delay/slew library: queries, accuracy, persistence."""
+
+import pytest
+
+from repro.charlib.library import (
+    BRANCH_FUNCTIONS,
+    SINGLE_FUNCTIONS,
+    DelaySlewLibrary,
+)
+from repro.spice.stages import simulate_stage, single_wire_spec
+from repro.charlib.sweep import CharConfig, InputShaper
+from repro.tech import cts_buffer_library
+
+
+class TestLibraryStructure:
+    def test_all_combinations_present(self, library):
+        names = library.buffer_names
+        assert len(names) == 3
+        for drive in names:
+            for load in names:
+                fits = library.single[(drive, load)]
+                assert set(fits) == set(SINGLE_FUNCTIONS)
+            assert set(library.branch[drive]) == set(BRANCH_FUNCTIONS)
+
+    def test_fit_quality_is_sub_picosecond(self, library):
+        """The paper's core claim for Ch. 3: the fitted functions match
+        simulation closely. Training RMS must be well below 1 ps."""
+        for row in library.fit_report():
+            assert row["rms_error"] < 1.5e-12, row
+            assert row["r_squared"] > 0.99, row
+
+    def test_serialization_roundtrip(self, library, tmp_path):
+        path = tmp_path / "lib.json"
+        library.save(path)
+        clone = DelaySlewLibrary.load(path)
+        t1 = library.single_wire("BUF20X", "BUF10X", 70e-12, 1800.0)
+        t2 = clone.single_wire("BUF20X", "BUF10X", 70e-12, 1800.0)
+        assert t1.buffer_delay == pytest.approx(t2.buffer_delay, abs=1e-15)
+        assert t1.wire_slew == pytest.approx(t2.wire_slew, abs=1e-15)
+
+    def test_missing_combination_rejected(self, library):
+        data = library.to_dict()
+        key = next(iter(data["single"]))
+        del data["single"][key]
+        with pytest.raises(ValueError):
+            DelaySlewLibrary.from_dict(data)
+
+
+class TestQueries:
+    def test_single_wire_monotone_in_length(self, library):
+        prev_delay, prev_slew = -1.0, -1.0
+        for length in (200.0, 1000.0, 2000.0, 3000.0):
+            t = library.single_wire("BUF20X", "BUF20X", 80e-12, length)
+            assert t.wire_delay >= prev_delay
+            assert t.wire_slew >= prev_slew
+            prev_delay, prev_slew = t.wire_delay, t.wire_slew
+
+    def test_buffer_delay_grows_with_input_slew(self, library):
+        slow = library.single_wire("BUF10X", "BUF20X", 140e-12, 1000.0)
+        fast = library.single_wire("BUF10X", "BUF20X", 40e-12, 1000.0)
+        assert slow.buffer_delay > fast.buffer_delay + 3e-12
+
+    def test_total_delay_is_sum(self, library):
+        t = library.single_wire("BUF20X", "BUF30X", 80e-12, 1500.0)
+        assert t.total_delay == pytest.approx(t.buffer_delay + t.wire_delay)
+
+    def test_sink_cap_mapping(self, library):
+        # 10X input cap is 3.75 fF; 30X is 11.25 fF.
+        assert library.load_name_for_cap(3e-15) == "BUF10X"
+        assert library.load_name_for_cap(12e-15) == "BUF30X"
+        small = library.single_wire_for_cap("BUF20X", 3e-15, 80e-12, 1000.0)
+        direct = library.single_wire("BUF20X", "BUF10X", 80e-12, 1000.0)
+        assert small.wire_delay == pytest.approx(direct.wire_delay)
+
+    def test_branch_symmetry(self, library):
+        t = library.branch_component("BUF20X", 80e-12, 200.0, 1500.0, 1500.0, 8e-15, 8e-15)
+        assert t.left_delay == pytest.approx(t.right_delay, abs=2e-12)
+        assert t.left_slew == pytest.approx(t.right_slew, abs=2e-12)
+
+    def test_branch_longer_side_slower(self, library):
+        t = library.branch_component("BUF20X", 80e-12, 0.0, 500.0, 2500.0, 8e-15, 8e-15)
+        assert t.right_delay > t.left_delay
+        assert t.right_slew > t.left_slew
+
+    def test_branch_totals(self, library):
+        t = library.branch_component("BUF30X", 70e-12, 100.0, 800.0, 900.0, 6e-15, 6e-15)
+        assert t.left_total == pytest.approx(t.buffer_delay + t.left_delay)
+        assert t.right_total == pytest.approx(t.buffer_delay + t.right_delay)
+
+    def test_max_single_length_covers_synthesis_range(self, library):
+        assert library.max_single_length("BUF20X", "BUF20X") >= 4000.0
+
+
+class TestValidationAgainstSimulation:
+    """Off-grid spot checks: fit vs fresh mini-SPICE run."""
+
+    @pytest.mark.parametrize("drive,load", [("BUF20X", "BUF20X"), ("BUF30X", "BUF10X")])
+    def test_single_wire_prediction_matches_simulation(self, library, tech, drive, load):
+        buffers = cts_buffer_library()
+        config = CharConfig()
+        shaper = InputShaper(tech, buffers[drive], config)
+        wave, slew_in = shaper.shaped_input(1500.0, buffers[drive].input_cap(tech))
+        length = 1650.0  # off the training grid
+        spec = single_wire_spec(buffers[drive], length, buffers[load].input_cap(tech))
+        sim = simulate_stage(tech, spec, wave, dt=config.dt)
+        predicted = library.single_wire(drive, load, slew_in, length)
+        assert predicted.buffer_delay == pytest.approx(sim.buffer_delay(), abs=1.5e-12)
+        assert predicted.wire_slew == pytest.approx(sim.slew_at(1), abs=2e-12)
+        measured_wire = sim.delay_to(1) - sim.buffer_delay()
+        assert predicted.wire_delay == pytest.approx(measured_wire, abs=1.5e-12)

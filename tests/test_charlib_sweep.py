@@ -1,0 +1,98 @@
+"""Characterization sweep machinery (small configs, real simulations)."""
+
+import numpy as np
+import pytest
+
+from repro.charlib.build import build_library
+from repro.charlib.sweep import (
+    CharConfig,
+    InputShaper,
+    characterize_branch,
+    characterize_single_wire,
+)
+from repro.tech import cts_buffer_library
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return CharConfig(
+        linput_values=(0.0, 2500.0),
+        length_values=(200.0, 1500.0, 3000.0),
+        branch_samples=8,
+        single_degree=2,
+        branch_degree=1,
+    )
+
+
+class TestInputShaper:
+    def test_longer_linput_slower_slew(self, tech, tiny_config):
+        buf = cts_buffer_library()["BUF20X"]
+        shaper = InputShaper(tech, buf, tiny_config)
+        __, slew_short = shaper.shaped_input(200.0, buf.input_cap(tech))
+        __, slew_long = shaper.shaped_input(3500.0, buf.input_cap(tech))
+        assert slew_long > slew_short + 10e-12
+
+    def test_cache_hit_returns_same_object(self, tech, tiny_config):
+        buf = cts_buffer_library()["BUF20X"]
+        shaper = InputShaper(tech, buf, tiny_config)
+        w1, s1 = shaper.shaped_input(1000.0, buf.input_cap(tech))
+        w2, s2 = shaper.shaped_input(1000.0, buf.input_cap(tech))
+        assert w1 is w2
+        assert s1 == s2
+
+    def test_waveform_is_curved_not_ramp(self, tech, tiny_config):
+        """The shaped input must carry the slow RC tail (Fig. 3.1's point)."""
+        buf = cts_buffer_library()["BUF20X"]
+        shaper = InputShaper(tech, buf, tiny_config)
+        wave, slew = shaper.shaped_input(3000.0, buf.input_cap(tech))
+        t10 = wave.cross_time(0.1 * tech.vdd)
+        t50 = wave.cross_time(0.5 * tech.vdd)
+        t90 = wave.cross_time(0.9 * tech.vdd)
+        # RC-type curves rise fast early and crawl at the top: the lower
+        # half of the window is quicker than the upper half.
+        assert (t50 - t10) < (t90 - t50)
+
+
+class TestSweeps:
+    def test_single_wire_sample_grid(self, tech, tiny_config):
+        lib = cts_buffer_library()
+        samples = characterize_single_wire(
+            tech, lib["BUF20X"], lib["BUF10X"], tiny_config
+        )
+        assert len(samples) == 2 * 3  # linputs x lengths
+        # Physical sanity on each record.
+        for s in samples:
+            assert s.buffer_delay > 0
+            assert s.wire_delay >= 0
+            assert s.wire_slew > 0
+        # Longer wire -> larger wire delay, per input slew group.
+        by_slew = {}
+        for s in samples:
+            by_slew.setdefault(round(s.input_slew * 1e15), []).append(s)
+        for group in by_slew.values():
+            group.sort(key=lambda s: s.length)
+            delays = [s.wire_delay for s in group]
+            assert delays == sorted(delays)
+
+    def test_branch_samples_seeded(self, tech, tiny_config):
+        lib = cts_buffer_library()
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        s1 = characterize_branch(tech, lib["BUF20X"], tiny_config, rng=rng1)
+        s2 = characterize_branch(tech, lib["BUF20X"], tiny_config, rng=rng2)
+        assert len(s1) == tiny_config.branch_samples
+        assert [a.left_length for a in s1] == [b.left_length for b in s2]
+        assert [a.left_delay for a in s1] == pytest.approx(
+            [b.left_delay for b in s2]
+        )
+
+    def test_build_library_small(self, tech, tiny_config):
+        """A full (tiny) build produces a queryable, complete library."""
+        lib = build_library(tech, cts_buffer_library(), tiny_config)
+        timing = lib.single_wire("BUF20X", "BUF20X", 80e-12, 1200.0)
+        assert timing.buffer_delay > 0
+        branch = lib.branch_component(
+            "BUF30X", 80e-12, 100.0, 900.0, 900.0, 8e-15, 8e-15
+        )
+        assert branch.left_delay == pytest.approx(branch.right_delay, abs=4e-12)
+        assert lib.meta["config"]["branch_samples"] == 8

@@ -1,0 +1,17 @@
+"""CLI characterize command (uses the cached library — no rebuild)."""
+
+from repro.cli import main as cli_main
+
+
+class TestCharacterizeCommand:
+    def test_loads_cached_library(self, capsys):
+        code = cli_main(["characterize", "--wire-scale", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 buffers" in out
+        assert "worst fit RMS" in out
+
+    def test_reports_cache_location(self, capsys):
+        cli_main(["characterize", "--wire-scale", "10"])
+        out = capsys.readouterr().out
+        assert "library_ptm45-like-w10x.json" in out

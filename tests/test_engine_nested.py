@@ -1,0 +1,91 @@
+"""Engine accuracy on awkward stage shapes (nested merges, deep stems).
+
+The characterized library covers single-wire and two-branch components;
+anything deeper is composed recursively with virtual drivers. These tests
+pin the composition's accuracy against mini-SPICE ground truth — the
+cases are rare in synthesized trees (the stage-cap rule bounds them) but
+must not be wildly wrong when they occur.
+"""
+
+import pytest
+
+from repro.evalx import engine_metrics, evaluate_tree
+from repro.geom import Point
+from repro.tech import cts_buffer_library
+from repro.tree.clocktree import ClockTree
+from repro.tree.nodes import make_buffer, make_merge, make_sink, make_steiner
+
+
+@pytest.fixture()
+def buf20():
+    return cts_buffer_library()["BUF20X"]
+
+
+def wrap(root_buf, at):
+    return ClockTree.from_network(at, root_buf)
+
+
+class TestNestedStages:
+    def test_two_level_unbuffered_merge(self, engine, tech, buf20):
+        """driver -> merge -> (sink, merge -> (sink, sink)): depth-2 stage."""
+        inner = make_merge(Point(1200, 0))
+        inner.attach(make_sink(Point(1200, 500), 6e-15, "sA"))
+        inner.attach(make_sink(Point(1700, 0), 6e-15, "sB"))
+        outer = make_merge(Point(600, 0))
+        outer.attach(make_sink(Point(600, -700), 6e-15, "sC"))
+        outer.attach(inner)
+        root = make_buffer(Point(0, 0), buf20)
+        root.attach(outer)
+        tree = wrap(root, Point(0, -10))
+
+        spice = evaluate_tree(tree, tech)
+        est = engine_metrics(tree, engine)
+        # Composition is approximate; demand same-order accuracy.
+        assert est.latency == pytest.approx(spice.latency, rel=0.2)
+        assert est.skew == pytest.approx(spice.skew, abs=15e-12)
+        # Arrival ordering is preserved unless the true arrivals are a
+        # near-tie (composition may swap ties of a few ps).
+        s_order = sorted(spice.sink_arrivals, key=spice.sink_arrivals.get)
+        e_order = sorted(est.sink_arrivals, key=est.sink_arrivals.get)
+        if s_order[-1] != e_order[-1]:
+            gap = spice.sink_arrivals[s_order[-1]] - spice.sink_arrivals[e_order[-1]]
+            assert gap < 10e-12
+
+    def test_steiner_multiway_tap(self, engine, tech, buf20):
+        """A 3-way Steiner tap inside one stage (recursive pairing path)."""
+        tap = make_steiner(Point(800, 0))
+        tap.attach(make_sink(Point(800, 600), 6e-15, "sA"))
+        tap.attach(make_sink(Point(800, -600), 6e-15, "sB"))
+        tap.attach(make_sink(Point(1600, 0), 6e-15, "sC"))
+        root = make_buffer(Point(0, 0), buf20)
+        root.attach(tap)
+        tree = wrap(root, Point(0, -10))
+        spice = evaluate_tree(tree, tech)
+        est = engine_metrics(tree, engine)
+        assert est.latency == pytest.approx(spice.latency, rel=0.25)
+        assert len(est.sink_arrivals) == 3
+
+    def test_long_stem_branch(self, engine, tech, buf20):
+        """Stem near the characterized maximum, asymmetric branches."""
+        merge = make_merge(Point(1900, 0))
+        merge.attach(make_sink(Point(1900, 900), 8e-15, "sA"))
+        merge.attach(make_sink(Point(4100, 0), 8e-15, "sB"))
+        root = make_buffer(Point(0, 0), buf20)
+        root.attach(merge)
+        tree = wrap(root, Point(0, -10))
+        spice = evaluate_tree(tree, tech)
+        est = engine_metrics(tree, engine)
+        assert est.latency == pytest.approx(spice.latency, rel=0.08)
+        assert est.skew == pytest.approx(spice.skew, abs=6e-12)
+
+    def test_buffer_chain_no_wires(self, engine, tech, buf20):
+        """Back-to-back buffers (zero-length wires, as snaking produces)."""
+        b1 = make_buffer(Point(0, 0), buf20)
+        b2 = make_buffer(Point(0, 0), buf20)
+        b1.attach(b2, 0.0)
+        b2.attach(make_sink(Point(900, 0), 8e-15, "sA"))
+        tree = wrap(b1, Point(0, 0))
+        spice = evaluate_tree(tree, tech)
+        est = engine_metrics(tree, engine)
+        assert est.latency == pytest.approx(spice.latency, rel=0.15)
+        assert spice.worst_slew <= 100e-12

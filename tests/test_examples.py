@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example runs end to end (small arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "8", "15000")
+        assert "slew constraint HONORED" in out
+
+    def test_gsrc_flow(self):
+        out = run_example("gsrc_flow.py", "r1", "10")
+        assert "ours (aggressive)" in out
+        assert "merge-node-only" in out
+
+    def test_obstacle_routing(self):
+        out = run_example("obstacle_routing.py")
+        assert "nodes inside the blockage: none" in out
+        assert "#" in out  # the ASCII plot rendered the blockage
+
+    def test_hstructure_study(self):
+        out = run_example("hstructure_study.py", "f22", "10")
+        assert "method 2" in out
+
+    def test_variation_study(self):
+        out = run_example("variation_study.py", "6", "2")
+        assert "Monte Carlo" in out

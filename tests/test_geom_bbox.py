@@ -1,0 +1,61 @@
+"""Bounding-box algebra."""
+
+import pytest
+
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+
+
+class TestConstruction:
+    def test_of_points(self):
+        box = BBox.of_points([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (-2, 3, 4, 5)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.of_points([])
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            BBox(5, 0, 0, 5)
+
+    def test_degenerate_allowed(self):
+        box = BBox(1, 1, 1, 1)
+        assert box.width == 0
+        assert box.height == 0
+
+
+class TestQueries:
+    def test_dimensions_and_center(self):
+        box = BBox(0, 0, 10, 4)
+        assert box.width == 10
+        assert box.height == 4
+        assert box.half_perimeter == 14
+        assert box.center == Point(5, 2)
+
+    def test_contains_boundary(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(10, 10))
+        assert not box.contains(Point(10.01, 5))
+        assert box.contains(Point(10.01, 5), tol=0.02)
+
+    def test_expanded(self):
+        box = BBox(0, 0, 2, 2).expanded(1)
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (-1, -1, 3, 3)
+
+    def test_union(self):
+        u = BBox(0, 0, 1, 1).union(BBox(5, -2, 6, 0))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, -2, 6, 1)
+
+    def test_intersects(self):
+        a = BBox(0, 0, 5, 5)
+        assert a.intersects(BBox(4, 4, 8, 8))
+        assert not a.intersects(BBox(6, 6, 8, 8))
+        assert a.intersects(BBox(5, 0, 7, 2))  # touching counts
+
+    def test_clamp(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.clamp(Point(-5, 5)) == Point(0, 5)
+        assert box.clamp(Point(3, 4)) == Point(3, 4)
+        assert box.clamp(Point(20, 30)) == Point(10, 10)

@@ -1,0 +1,73 @@
+"""Routing grids."""
+
+import pytest
+
+from repro.geom.bbox import BBox
+from repro.geom.grid import RoutingGrid
+from repro.geom.point import Point
+
+
+class TestForRoute:
+    def test_default_resolution(self):
+        grid = RoutingGrid.for_route(Point(0, 0), Point(10000, 10000))
+        assert grid.cols == 45
+        assert grid.rows == 45
+
+    def test_margin_expands_beyond_terminals(self):
+        grid = RoutingGrid.for_route(Point(0, 0), Point(1000, 1000))
+        assert grid.bbox.xmin < 0
+        assert grid.bbox.xmax > 1000
+
+    def test_dynamic_growth_for_long_nets(self):
+        grid = RoutingGrid.for_route(
+            Point(0, 0), Point(100000, 100000), min_pitch=500.0
+        )
+        assert grid.cols > 45
+        assert grid.pitch_x <= 500.0 * 1.01
+
+    def test_growth_capped(self):
+        grid = RoutingGrid.for_route(
+            Point(0, 0), Point(1e6, 1e6), min_pitch=10.0, max_cells_per_dim=100
+        )
+        assert grid.cols == 100
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(BBox(0, 0, 10, 10), 1, 5)
+
+
+class TestCellOps:
+    def grid(self):
+        return RoutingGrid(BBox(0, 0, 100, 100), 11, 11)
+
+    def test_cell_center_corners(self):
+        g = self.grid()
+        assert g.cell_center(0, 0) == Point(0, 0)
+        assert g.cell_center(10, 10) == Point(100, 100)
+        assert g.cell_center(5, 0) == Point(50, 0)
+
+    def test_nearest_cell_roundtrip(self):
+        g = self.grid()
+        assert g.nearest_cell(Point(52, 48)) == (5, 5)
+        assert g.nearest_cell(Point(-100, 50)) == (0, 5)
+
+    def test_neighbors_interior(self):
+        g = self.grid()
+        neighbors = list(g.neighbors(5, 5))
+        assert len(neighbors) == 4
+        assert all(step == pytest.approx(10.0) for *_ , step in neighbors)
+
+    def test_neighbors_corner(self):
+        g = self.grid()
+        assert len(list(g.neighbors(0, 0))) == 2
+
+    def test_blockage(self):
+        g = self.grid()
+        g.block_region(BBox(45, 45, 65, 65))
+        assert g.is_blocked(5, 5)
+        assert not g.is_blocked(0, 0)
+        neighbors = [(c, r) for c, r, __ in g.neighbors(5, 4)]
+        assert (5, 5) not in neighbors
+
+    def test_cell_count(self):
+        assert self.grid().cell_count() == 121

@@ -1,0 +1,114 @@
+"""Manhattan arcs and DME merge segments."""
+
+import pytest
+
+from repro.geom.manhattan_arc import ManhattanArc, merge_arc, tilted_rect_region
+from repro.geom.point import Point
+
+
+class TestConstruction:
+    def test_point_arc(self):
+        arc = ManhattanArc.point(Point(3, 4))
+        assert arc.is_point
+        assert arc.length == 0
+
+    def test_plus_slope(self):
+        arc = ManhattanArc(Point(0, 0), Point(3, 3))
+        assert not arc.is_point
+        assert arc.length == 6
+
+    def test_minus_slope(self):
+        arc = ManhattanArc(Point(0, 3), Point(3, 0))
+        assert arc.length == 6
+
+    def test_rejects_non_45_degree(self):
+        with pytest.raises(ValueError):
+            ManhattanArc(Point(0, 0), Point(5, 2))
+
+    def test_axis_aligned_rejected(self):
+        with pytest.raises(ValueError):
+            ManhattanArc(Point(0, 0), Point(5, 0))
+
+
+class TestDistance:
+    def test_point_to_point(self):
+        a = ManhattanArc.point(Point(0, 0))
+        b = ManhattanArc.point(Point(3, 4))
+        assert a.distance_to(b) == pytest.approx(7)
+
+    def test_point_to_arc(self):
+        arc = ManhattanArc(Point(2, 0), Point(4, 2))
+        assert arc.distance_to_point(Point(0, 0)) == pytest.approx(2)
+
+    def test_overlapping_arcs_distance_zero(self):
+        a = ManhattanArc(Point(0, 0), Point(4, 4))
+        b = ManhattanArc(Point(2, 2), Point(6, 6))
+        assert a.distance_to(b) == pytest.approx(0)
+
+    def test_closest_point_is_on_arc_and_optimal(self):
+        arc = ManhattanArc(Point(2, 0), Point(6, 4))
+        target = Point(0, 0)
+        close = arc.closest_point_to(target)
+        assert arc.distance_to_point(close) < 1e-9
+        assert close.manhattan_to(target) == pytest.approx(
+            arc.distance_to_point(target)
+        )
+
+
+class TestSampleAndIntersect:
+    def test_sample_endpoints(self):
+        arc = ManhattanArc(Point(0, 0), Point(3, 3))
+        assert arc.sample(0) == Point(0, 0)
+        assert arc.sample(1) == Point(3, 3)
+
+    def test_intersection_overlap(self):
+        a = ManhattanArc(Point(0, 0), Point(4, 4))
+        b = ManhattanArc(Point(2, 2), Point(6, 6))
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.p == Point(2, 2)
+        assert inter.q == Point(4, 4)
+
+    def test_intersection_disjoint(self):
+        a = ManhattanArc(Point(0, 0), Point(1, 1))
+        b = ManhattanArc.point(Point(10, 10))
+        assert a.intersection(b) is None
+
+
+class TestMergeArc:
+    def test_between_points_is_manhattan_arc(self):
+        a = ManhattanArc.point(Point(0, 0))
+        b = ManhattanArc.point(Point(10, 4))
+        merged = merge_arc(a, b, 7, 7)
+        # Every point on the merge segment is at distance 7 from both.
+        for t in (0.0, 0.5, 1.0):
+            p = merged.sample(t)
+            assert a.distance_to_point(p) == pytest.approx(7, abs=1e-6)
+            assert b.distance_to_point(p) == pytest.approx(7, abs=1e-6)
+
+    def test_exact_bridging(self):
+        a = ManhattanArc.point(Point(0, 0))
+        b = ManhattanArc.point(Point(6, 2))
+        merged = merge_arc(a, b, 3, 5)
+        p = merged.sample(0.5)
+        assert a.distance_to_point(p) == pytest.approx(3, abs=1e-6)
+        assert b.distance_to_point(p) == pytest.approx(5, abs=1e-6)
+
+    def test_insufficient_distance_raises(self):
+        a = ManhattanArc.point(Point(0, 0))
+        b = ManhattanArc.point(Point(10, 0))
+        with pytest.raises(ValueError):
+            merge_arc(a, b, 3, 3)
+
+    def test_degenerate_zero_distance(self):
+        a = ManhattanArc.point(Point(5, 5))
+        merged = merge_arc(a, a, 0, 0)
+        assert merged.is_point
+
+
+class TestTiltedRect:
+    def test_corners_at_radius(self):
+        corners = tilted_rect_region(Point(0, 0), 5)
+        assert len(corners) == 4
+        for corner in corners:
+            assert corner.manhattan_to(Point(0, 0)) == pytest.approx(5)

@@ -1,0 +1,90 @@
+"""Point arithmetic and the rotated-frame mapping."""
+
+import math
+
+import pytest
+
+from repro.geom.point import Point, centroid, manhattan
+
+
+class TestManhattanDistance:
+    def test_axis_aligned(self):
+        assert Point(0, 0).manhattan_to(Point(5, 0)) == 5
+        assert Point(0, 0).manhattan_to(Point(0, -7)) == 7
+
+    def test_diagonal(self):
+        assert Point(1, 2).manhattan_to(Point(4, 6)) == 7
+
+    def test_symmetry(self):
+        a, b = Point(3.5, -2), Point(-1, 9)
+        assert a.manhattan_to(b) == b.manhattan_to(a)
+
+    def test_triangle_inequality(self):
+        a, b, c = Point(0, 0), Point(10, 3), Point(4, 8)
+        assert a.manhattan_to(c) <= a.manhattan_to(b) + b.manhattan_to(c)
+
+    def test_module_level_helper(self):
+        assert manhattan(Point(0, 0), Point(2, 2)) == 4
+
+    def test_euclidean_le_manhattan(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.euclidean_to(b) == pytest.approx(5.0)
+        assert a.euclidean_to(b) <= a.manhattan_to(b)
+
+
+class TestRotatedFrame:
+    def test_roundtrip(self):
+        p = Point(3.25, -7.5)
+        r = p.to_rotated()
+        back = Point.from_rotated(r.x, r.y)
+        assert back == p
+
+    def test_manhattan_becomes_chebyshev(self):
+        a, b = Point(1, 2), Point(5, -3)
+        ra, rb = a.to_rotated(), b.to_rotated()
+        cheb = max(abs(ra.x - rb.x), abs(ra.y - rb.y))
+        assert cheb == pytest.approx(a.manhattan_to(b))
+
+
+class TestPointOps:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(1, 2) - Point(3, 4) == Point(-2, -2)
+
+    def test_lerp_endpoints(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Point(5, 10)
+
+    def test_lerp_is_linear_in_manhattan(self):
+        a, b = Point(0, 0), Point(10, 4)
+        mid = a.lerp(b, 0.3)
+        assert a.manhattan_to(mid) == pytest.approx(0.3 * a.manhattan_to(b))
+
+    def test_snapped(self):
+        assert Point(12.4, 7.6).snapped(5.0) == Point(10.0, 10.0)
+
+    def test_snapped_rejects_nonpositive_pitch(self):
+        with pytest.raises(ValueError):
+            Point(1, 1).snapped(0.0)
+
+    def test_scaled(self):
+        assert Point(2, -3).scaled(2.0) == Point(4, -6)
+
+    def test_centroid(self):
+        pts = [Point(0, 0), Point(2, 0), Point(1, 3)]
+        assert centroid(pts) == Point(1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert p in {Point(1, 2)}
+        with pytest.raises(Exception):
+            p.x = 3

@@ -1,0 +1,93 @@
+"""Segments and routing polylines."""
+
+import pytest
+
+from repro.geom.point import Point
+from repro.geom.segment import PathPolyline, Segment
+
+
+class TestSegment:
+    def test_lengths(self):
+        seg = Segment(Point(0, 0), Point(3, 4))
+        assert seg.manhattan_length == 7
+        assert seg.euclidean_length == pytest.approx(5)
+
+    def test_point_at_and_midpoint(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.point_at(0.25) == Point(2.5, 0)
+        assert seg.midpoint() == Point(5, 0)
+
+    def test_reversed(self):
+        seg = Segment(Point(1, 2), Point(3, 4)).reversed()
+        assert seg.a == Point(3, 4)
+        assert seg.b == Point(1, 2)
+
+
+class TestPathPolyline:
+    def l_path(self):
+        return PathPolyline([Point(0, 0), Point(10, 0), Point(10, 5)])
+
+    def test_length_is_sum_of_manhattan_legs(self):
+        assert self.l_path().length == 15
+
+    def test_point_at_length_on_legs(self):
+        path = self.l_path()
+        assert path.point_at_length(0) == Point(0, 0)
+        assert path.point_at_length(10) == Point(10, 0)
+        assert path.point_at_length(12) == Point(10, 2)
+        assert path.point_at_length(15) == Point(10, 5)
+
+    def test_point_at_length_clamps(self):
+        path = self.l_path()
+        assert path.point_at_length(-3) == Point(0, 0)
+        assert path.point_at_length(99) == Point(10, 5)
+
+    def test_prefix_length(self):
+        path = self.l_path()
+        assert path.prefix_length(0) == 0
+        assert path.prefix_length(1) == 10
+        assert path.prefix_length(2) == 15
+
+    def test_reversed_preserves_length(self):
+        path = self.l_path()
+        assert path.reversed().length == path.length
+        assert path.reversed().points[0] == Point(10, 5)
+
+    def test_subpath_interior(self):
+        sub = self.l_path().subpath(5, 12)
+        assert sub.length == pytest.approx(7)
+        assert sub.points[0] == Point(5, 0)
+        assert sub.points[-1] == Point(10, 2)
+        # Keeps the bend vertex.
+        assert Point(10, 0) in sub.points
+
+    def test_subpath_clamps(self):
+        sub = self.l_path().subpath(-5, 100)
+        assert sub.length == pytest.approx(15)
+
+    def test_subpath_degenerate(self):
+        sub = self.l_path().subpath(7, 7)
+        assert sub.length == 0
+        assert len(sub.points) == 2
+
+    def test_concat_with_shared_seam(self):
+        a = PathPolyline([Point(0, 0), Point(5, 0)])
+        b = PathPolyline([Point(5, 0), Point(5, 5)])
+        joined = a.concat(b)
+        assert joined.length == 10
+        assert len(joined.points) == 3
+
+    def test_concat_without_shared_seam(self):
+        a = PathPolyline([Point(0, 0), Point(5, 0)])
+        b = PathPolyline([Point(5, 2), Point(5, 5)])
+        joined = a.concat(b)
+        assert joined.length == pytest.approx(5 + 2 + 3)
+
+    def test_single_point_rejected_for_empty(self):
+        with pytest.raises(ValueError):
+            PathPolyline([])
+
+    def test_arc_length_ge_manhattan_between_any_params(self):
+        path = self.l_path()
+        p1, p2 = path.point_at_length(2), path.point_at_length(13)
+        assert 11 >= p1.manhattan_to(p2) - 1e-9

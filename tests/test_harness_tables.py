@@ -1,0 +1,51 @@
+"""Smoke tests of the table drivers at tiny scale (structure, not values)."""
+
+import pytest
+
+from repro.evalx.harness import (
+    render_table_5_1,
+    render_table_5_2,
+    render_table_5_3,
+    table_5_2_rows,
+)
+
+
+class TestTableRows:
+    def test_table_5_2_rows_structure(self):
+        rows = table_5_2_rows(full=False, scale=8)
+        assert len(rows) == 7  # all ISPD benchmarks
+        for row in rows:
+            assert row["sinks"] == 8
+            assert row["worst_slew_ps"] <= 100.0
+            assert "paper_latency_ns" in row
+            assert row["skew_over_latency_pct"] >= 0.0
+
+    def test_renderers_accept_rows(self):
+        rows = [
+            {
+                "bench": "x@8",
+                "sinks": 8,
+                "worst_slew_ps": 80.0,
+                "skew_ps": 10.0,
+                "latency_ns": 1.0,
+                "paper_worst_slew_ps": 89.0,
+                "paper_skew_ps": 60.0,
+                "paper_latency_ns": 1.3,
+            }
+        ]
+        text = render_table_5_1(rows)
+        assert "Table 5.1" in text and "x@8" in text
+        rows[0]["skew_over_latency_pct"] = 1.0
+        assert "Table 5.2" in render_table_5_2(rows)
+        rows53 = [
+            {
+                "bench": "x@8",
+                "orig_skew_ps": 20.0,
+                "reestimate_skew_ps": 18.0,
+                "correct_skew_ps": 15.0,
+                "reestimate_ratio_pct": -10.0,
+                "correct_ratio_pct": -25.0,
+                "flippings": 2,
+            }
+        ]
+        assert "Table 5.3" in render_table_5_3(rows53)

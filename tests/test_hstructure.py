@@ -1,0 +1,120 @@
+"""H-structure re-estimation and correction (Sec. 4.1.2)."""
+
+import pytest
+
+from repro.core import AggressiveBufferedCTS, CTSOptions
+from repro.core.hstructure import PAIRINGS, correct_pairing, reestimate_pairing
+from repro.core.merge_routing import MergeRouter
+from repro.core.topology import EdgeCost, SubTree
+from repro.evalx import evaluate_tree
+from repro.geom import Point
+from repro.timing.analysis import LibraryTimingEngine
+from repro.tree.nodes import make_sink
+from repro.tree.validate import validate_tree
+
+from tests.conftest import make_sink_pairs
+
+
+@pytest.fixture()
+def router(tech, library, buffers):
+    engine = LibraryTimingEngine(library, tech)
+    return MergeRouter(tech, library, buffers, engine, CTSOptions())
+
+
+def interleaved_quad(router):
+    """Four sinks where the 'wrong' pairing is the interleaved one.
+
+    A = (0,0), B = (4000,0), C = (300,0), D = (4300, 0): the natural
+    pairing is (A,C)(B,D); we force the H-prone original (A,B)(C,D).
+    """
+    a = make_sink(Point(0, 0), 8e-15, "A")
+    b = make_sink(Point(4000, 0), 8e-15, "B")
+    c = make_sink(Point(300, 0), 8e-15, "C")
+    d = make_sink(Point(4300, 0), 8e-15, "D")
+    p = router.merge(a, b)
+    q = router.merge(c, d)
+    p_sub = SubTree(p, router.subtree_bounds(p), parts=(a, b))
+    q_sub = SubTree(q, router.subtree_bounds(q), parts=(c, d))
+    return p_sub, q_sub, (a, b, c, d)
+
+
+class TestPairings:
+    def test_three_pairings_cover_all(self):
+        assert len(PAIRINGS) == 3
+        for (i, j), (k, l) in PAIRINGS:
+            assert sorted([i, j, k, l]) == [0, 1, 2, 3]
+
+
+class TestReestimate:
+    def test_flips_interleaved_pairing(self, router):
+        p_sub, q_sub, __ = interleaved_quad(router)
+        cost = EdgeCost(CTSOptions(), router._delay_per_unit)
+        outcome = reestimate_pairing(router, cost, p_sub, q_sub)
+        assert outcome.flipped
+        validate_tree(outcome.left_root)
+        validate_tree(outcome.right_root)
+        # The chosen pairing has much shorter wirelength.
+        wl = (
+            outcome.left_root.downstream_wirelength()
+            + outcome.right_root.downstream_wirelength()
+        )
+        assert wl < 4000
+
+    def test_keeps_good_pairing(self, router):
+        a = make_sink(Point(0, 0), 8e-15)
+        b = make_sink(Point(300, 0), 8e-15)
+        c = make_sink(Point(4000, 0), 8e-15)
+        d = make_sink(Point(4300, 0), 8e-15)
+        p = router.merge(a, b)
+        q = router.merge(c, d)
+        p_sub = SubTree(p, router.subtree_bounds(p), parts=(a, b))
+        q_sub = SubTree(q, router.subtree_bounds(q), parts=(c, d))
+        cost = EdgeCost(CTSOptions(), router._delay_per_unit)
+        outcome = reestimate_pairing(router, cost, p_sub, q_sub)
+        assert not outcome.flipped
+
+
+class TestCorrect:
+    def test_correction_chooses_low_skew_pairing(self, router):
+        p_sub, q_sub, parts = interleaved_quad(router)
+        outcome = correct_pairing(router, p_sub, q_sub)
+        assert outcome.flipped
+        validate_tree(outcome.left_root)
+        validate_tree(outcome.right_root)
+        # All four grandchildren survive, each in exactly one tree.
+        names = set()
+        for root in (outcome.left_root, outcome.right_root):
+            names.update(
+                n.name for n in root.walk() if n.name in ("A", "B", "C", "D")
+            )
+        assert names == {"A", "B", "C", "D"}
+
+    def test_correction_skew_not_worse(self, router):
+        p_sub, q_sub, __ = interleaved_quad(router)
+        orig_worse = max(p_sub.bounds.skew, q_sub.bounds.skew)
+        outcome = correct_pairing(router, p_sub, q_sub)
+        new_worse = max(
+            router.subtree_bounds(outcome.left_root).skew,
+            router.subtree_bounds(outcome.right_root).skew,
+        )
+        assert new_worse <= orig_worse + 1e-12
+
+
+class TestFlowIntegration:
+    @pytest.mark.parametrize("mode", ["reestimate", "correct"])
+    def test_full_flow_with_hstructure(self, tech, mode):
+        sinks = make_sink_pairs(12, 30000.0, seed=17)
+        cts = AggressiveBufferedCTS(options=CTSOptions(hstructure=mode))
+        result = cts.synthesize(sinks)
+        validate_tree(result.tree.root, expect_source_root=True)
+        assert result.n_flippings >= 0
+        metrics = evaluate_tree(result.tree, tech)
+        assert metrics.worst_slew <= cts.options.slew_limit
+        assert metrics.n_sinks == 12
+
+    def test_flippings_counted(self, tech):
+        """A sink layout engineered to provoke at least one flip."""
+        sinks = make_sink_pairs(16, 50000.0, seed=5)
+        cts = AggressiveBufferedCTS(options=CTSOptions(hstructure="correct"))
+        result = cts.synthesize(sinks)
+        assert isinstance(result.n_flippings, int)

@@ -1,0 +1,110 @@
+"""The alpha-power MOSFET model: regions, symmetry, derivatives."""
+
+import pytest
+
+from repro.spice.mosfet import (
+    MosfetParams,
+    mosfet_current,
+    nmos_params,
+    pmos_params,
+)
+from repro.tech import default_technology
+
+
+@pytest.fixture(scope="module")
+def nmos():
+    return nmos_params(default_technology(), width=10.0)
+
+
+@pytest.fixture(scope="module")
+def pmos():
+    return pmos_params(default_technology(), width=10.0)
+
+
+class TestRegions:
+    def test_cutoff(self, nmos):
+        i, *_ = mosfet_current(vg=0.1, vd=1.0, vs=0.0, p=nmos)
+        # Only the gmin leak remains.
+        assert abs(i) < 1e-6
+
+    def test_on_current_positive(self, nmos):
+        i, *_ = mosfet_current(vg=1.0, vd=1.0, vs=0.0, p=nmos)
+        assert i > 1e-4
+
+    def test_saturation_flat_in_vds(self, nmos):
+        i1, *_ = mosfet_current(1.0, 0.8, 0.0, nmos)
+        i2, *_ = mosfet_current(1.0, 1.0, 0.0, nmos)
+        # Only channel-length modulation separates them (< 5%).
+        assert i2 > i1
+        assert (i2 - i1) / i1 < 0.05
+
+    def test_linear_region_grows_with_vds(self, nmos):
+        i1, *_ = mosfet_current(1.0, 0.05, 0.0, nmos)
+        i2, *_ = mosfet_current(1.0, 0.15, 0.0, nmos)
+        assert i2 > 1.5 * i1
+
+    def test_current_scales_with_width(self):
+        tech = default_technology()
+        i10, *_ = mosfet_current(1.0, 1.0, 0.0, nmos_params(tech, 10.0))
+        i20, *_ = mosfet_current(1.0, 1.0, 0.0, nmos_params(tech, 20.0))
+        assert i20 == pytest.approx(2 * i10, rel=1e-3)
+
+    def test_gate_overdrive_superlinear(self, nmos):
+        """alpha > 1: doubling overdrive more than doubles current."""
+        i1, *_ = mosfet_current(0.3 + 0.2, 1.0, 0.0, nmos)
+        i2, *_ = mosfet_current(0.3 + 0.4, 1.0, 0.0, nmos)
+        assert i2 > 2.0 * i1
+
+
+class TestSymmetryAndPolarity:
+    def test_reverse_vds_negates_current(self, nmos):
+        fwd, *_ = mosfet_current(1.0, 0.4, 0.0, nmos)
+        rev, *_ = mosfet_current(1.0, 0.0, 0.4, nmos)
+        assert rev == pytest.approx(-fwd, rel=1e-9)
+
+    def test_continuity_at_vds_zero(self, nmos):
+        below, *_ = mosfet_current(1.0, -1e-9, 0.0, nmos)
+        above, *_ = mosfet_current(1.0, 1e-9, 0.0, nmos)
+        assert abs(above - below) < 1e-9
+
+    def test_pmos_pulls_up(self, pmos):
+        """PMOS in an inverter: source at vdd, output low -> current INTO
+        the drain node is negative (charging the output toward vdd)."""
+        i, *_ = mosfet_current(vg=0.0, vd=0.0, vs=1.0, p=pmos)
+        assert i < -1e-4
+
+    def test_pmos_off_at_high_gate(self, pmos):
+        i, *_ = mosfet_current(vg=1.0, vd=0.0, vs=1.0, p=pmos)
+        assert abs(i) < 1e-6
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "vg,vd,vs",
+        [
+            (1.0, 1.0, 0.0),  # saturation
+            (1.0, 0.1, 0.0),  # linear
+            (0.5, 0.8, 0.0),  # moderate overdrive
+            (1.0, 0.0, 0.4),  # reversed
+            (0.2, 1.0, 0.0),  # cutoff
+        ],
+    )
+    def test_jacobian_matches_finite_difference(self, nmos, vg, vd, vs):
+        h = 1e-7
+        i0, di_dvg, di_dvd, di_dvs = mosfet_current(vg, vd, vs, nmos)
+        for idx, analytic in ((0, di_dvg), (1, di_dvd), (2, di_dvs)):
+            args = [vg, vd, vs]
+            args[idx] += h
+            i1, *_ = mosfet_current(*args, nmos)
+            numeric = (i1 - i0) / h
+            assert numeric == pytest.approx(analytic, rel=2e-3, abs=1e-9)
+
+    def test_pmos_jacobian_matches_finite_difference(self, pmos):
+        h = 1e-7
+        vg, vd, vs = 0.2, 0.3, 1.0
+        i0, di_dvg, di_dvd, di_dvs = mosfet_current(vg, vd, vs, pmos)
+        for idx, analytic in ((0, di_dvg), (1, di_dvd), (2, di_dvs)):
+            args = [vg, vd, vs]
+            args[idx] += h
+            i1, *_ = mosfet_current(*args, pmos)
+            assert (i1 - i0) / h == pytest.approx(analytic, rel=2e-3, abs=1e-9)

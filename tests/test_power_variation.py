@@ -1,0 +1,118 @@
+"""Power estimation and process-variation Monte Carlo extensions."""
+
+import pytest
+
+from repro.core import AggressiveBufferedCTS
+from repro.evalx.power import PowerReport, tree_power
+from repro.evalx.variation import VariationModel, monte_carlo_skew
+from repro.geom import Point
+from repro.tech import cts_buffer_library
+from repro.tree.clocktree import ClockTree
+from repro.tree.nodes import make_buffer, make_merge, make_sink
+
+from tests.conftest import make_sink_pairs
+
+
+@pytest.fixture()
+def small_tree(tech):
+    buf = cts_buffer_library()["BUF20X"]
+    s_a = make_sink(Point(0, 0), 8e-15, "sA")
+    s_b = make_sink(Point(4000, 0), 8e-15, "sB")
+    b_a = make_buffer(Point(1000, 0), buf)
+    b_a.attach(s_a)
+    b_b = make_buffer(Point(3000, 0), buf)
+    b_b.attach(s_b)
+    merge = make_merge(Point(2000, 0))
+    merge.attach(b_a)
+    merge.attach(b_b)
+    root = make_buffer(Point(2000, 100), buf)
+    root.attach(merge)
+    return ClockTree.from_network(Point(2000, 110), root)
+
+
+class TestPower:
+    def test_cap_breakdown(self, small_tree, tech):
+        report = tree_power(small_tree, tech)
+        wl = small_tree.total_wirelength()
+        assert report.wire_cap == pytest.approx(
+            tech.wire.capacitance_per_unit * wl
+        )
+        assert report.sink_cap == pytest.approx(16e-15)
+        assert report.buffer_cap > 0
+        assert report.total_cap == pytest.approx(
+            report.wire_cap + report.sink_cap + report.buffer_cap
+        )
+
+    def test_power_scales_with_frequency(self, small_tree, tech):
+        p1 = tree_power(small_tree, tech, frequency=1e9)
+        p2 = tree_power(small_tree, tech, frequency=2e9)
+        assert p2.dynamic_power == pytest.approx(2 * p1.dynamic_power)
+
+    def test_power_plausible_magnitude(self, tech):
+        """A small synthesized tree should burn milliwatts at 1 GHz."""
+        sinks = make_sink_pairs(8, 20000.0, seed=13)
+        result = AggressiveBufferedCTS(tech=tech).synthesize(sinks)
+        report = tree_power(result.tree, tech)
+        assert 1e-4 < report.dynamic_power < 1.0
+
+    def test_more_buffers_more_power(self, small_tree, tech):
+        base = tree_power(small_tree, tech)
+        extra = make_buffer(Point(2000, 105), cts_buffer_library()["BUF30X"])
+        old_child = small_tree.root.children[0]
+        old_child.detach()
+        extra.attach(old_child, 10.0)
+        small_tree.root.attach(extra, 10.0)
+        richer = tree_power(small_tree, tech)
+        assert richer.dynamic_power > base.dynamic_power
+
+    def test_row_units(self, small_tree, tech):
+        row = tree_power(small_tree, tech).row()
+        assert row["total_cap_pF"] == pytest.approx(
+            tree_power(small_tree, tech).total_cap * 1e12
+        )
+        assert "power_mW" in row
+
+
+class TestVariation:
+    def test_nominal_matches_evaluate(self, small_tree, tech):
+        from repro.evalx import evaluate_tree
+
+        result = monte_carlo_skew(small_tree, tech, n_samples=2, dt=2e-12)
+        metrics = evaluate_tree(small_tree, tech, dt=2e-12)
+        assert result.nominal_skew == pytest.approx(metrics.skew, abs=1.5e-12)
+        assert result.nominal_latency == pytest.approx(metrics.latency, rel=0.02)
+
+    def test_local_variation_degrades_skew(self, small_tree, tech):
+        """Within-die variation must widen skew beyond nominal on average."""
+        model = VariationModel(
+            buffer_strength_sigma=0.10, wire_r_sigma=0.08, wire_c_sigma=0.05, seed=3
+        )
+        result = monte_carlo_skew(small_tree, tech, model, n_samples=8, dt=2e-12)
+        assert result.mean_skew > result.nominal_skew
+        assert result.p95_skew >= result.mean_skew
+
+    def test_zero_sigma_reproduces_nominal(self, small_tree, tech):
+        model = VariationModel(0.0, 0.0, 0.0, 0.0, seed=9)
+        result = monte_carlo_skew(small_tree, tech, model, n_samples=3, dt=2e-12)
+        for skew in result.skews:
+            assert skew == pytest.approx(result.nominal_skew, abs=0.5e-12)
+
+    def test_global_variation_shifts_latency_not_skew(self, small_tree, tech):
+        local_only = VariationModel(0.06, 0.0, 0.0, global_sigma=0.0, seed=5)
+        with_global = VariationModel(0.06, 0.0, 0.0, global_sigma=0.15, seed=5)
+        r_local = monte_carlo_skew(small_tree, tech, local_only, n_samples=6, dt=2e-12)
+        r_global = monte_carlo_skew(small_tree, tech, with_global, n_samples=6, dt=2e-12)
+        assert r_global.sigma_latency > r_local.sigma_latency
+        # Skew inflation from the global term is comparatively small.
+        assert r_global.mean_skew < r_local.mean_skew * 3.0
+
+    def test_result_row(self, small_tree, tech):
+        result = monte_carlo_skew(small_tree, tech, n_samples=2, dt=2e-12)
+        row = result.row()
+        assert set(row) == {
+            "nominal_skew_ps",
+            "mean_skew_ps",
+            "p95_skew_ps",
+            "nominal_latency_ns",
+            "sigma_latency_ps",
+        }

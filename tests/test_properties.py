@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.charlib.fitting import PolynomialFit
+from repro.geom.manhattan_arc import ManhattanArc, merge_arc
+from repro.geom.point import Point
+from repro.geom.segment import PathPolyline
+from repro.timing.elmore import elmore_delays
+from repro.timing.moments import rc_tree_moments
+from repro.timing.rctree import RCTree
+from repro.timing.waveform import Waveform, ramp_waveform
+
+coords = st.floats(-1e5, 1e5, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_manhattan_symmetry(self, a, b):
+        assert a.manhattan_to(b) == pytest.approx(b.manhattan_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.manhattan_to(c) <= a.manhattan_to(b) + b.manhattan_to(c) + 1e-6
+
+    @given(points)
+    def test_rotation_roundtrip(self, p):
+        r = p.to_rotated()
+        back = Point.from_rotated(r.x, r.y)
+        assert back.x == pytest.approx(p.x, abs=1e-6)
+        assert back.y == pytest.approx(p.y, abs=1e-6)
+
+    @given(points, points)
+    def test_rotation_is_isometry_l1_to_linf(self, a, b):
+        ra, rb = a.to_rotated(), b.to_rotated()
+        cheb = max(abs(ra.x - rb.x), abs(ra.y - rb.y))
+        assert cheb == pytest.approx(a.manhattan_to(b), rel=1e-9, abs=1e-6)
+
+    @given(points, points, st.floats(0, 1))
+    def test_lerp_additivity(self, a, b, t):
+        mid = a.lerp(b, t)
+        d = a.manhattan_to(mid) + mid.manhattan_to(b)
+        assert d == pytest.approx(a.manhattan_to(b), rel=1e-9, abs=1e-6)
+
+
+class TestMergeArcProperties:
+    @given(points, points, st.floats(0.01, 0.99))
+    def test_merge_point_distances(self, a, b, x):
+        dist = a.manhattan_to(b)
+        assume(dist > 1.0)
+        arc = merge_arc(
+            ManhattanArc.point(a), ManhattanArc.point(b), x * dist, (1 - x) * dist
+        )
+        for t in (0.0, 0.5, 1.0):
+            p = arc.sample(t)
+            assert p.manhattan_to(a) == pytest.approx(x * dist, abs=1e-5)
+            assert p.manhattan_to(b) == pytest.approx((1 - x) * dist, abs=1e-5)
+
+
+class TestPolylineProperties:
+    @given(st.lists(points, min_size=2, max_size=8))
+    def test_length_is_sum_of_legs(self, pts):
+        path = PathPolyline(pts)
+        total = sum(p.manhattan_to(q) for p, q in zip(pts, pts[1:]))
+        assert path.length == pytest.approx(total, rel=1e-9, abs=1e-6)
+
+    @given(st.lists(points, min_size=2, max_size=6), st.floats(0, 1), st.floats(0, 1))
+    def test_subpath_length(self, pts, f0, f1):
+        path = PathPolyline(pts)
+        assume(path.length > 1.0)
+        s0, s1 = sorted((f0 * path.length, f1 * path.length))
+        sub = path.subpath(s0, s1)
+        assert sub.length == pytest.approx(s1 - s0, rel=1e-6, abs=1e-5)
+
+    @given(st.lists(points, min_size=2, max_size=6), st.floats(0, 1))
+    def test_point_at_length_on_path(self, pts, frac):
+        path = PathPolyline(pts)
+        assume(path.length > 1.0)
+        s = frac * path.length
+        p = path.point_at_length(s)
+        # The point must sit between the endpoints along the path: its
+        # distance to the start along the path equals s by construction.
+        assert path.subpath(0, s).length == pytest.approx(s, rel=1e-6, abs=1e-5)
+
+
+class TestWaveformProperties:
+    slews = st.floats(5e-12, 500e-12)
+
+    @given(slews)
+    def test_ramp_measured_slew(self, slew):
+        wave = ramp_waveform(1.0, slew)
+        assert wave.slew(1.0) == pytest.approx(slew, rel=1e-3)
+
+    @given(slews, st.floats(-1e-9, 1e-9))
+    def test_shift_invariance_of_slew(self, slew, dt):
+        wave = ramp_waveform(1.0, slew)
+        assert wave.shifted(dt).slew(1.0) == pytest.approx(
+            wave.slew(1.0), rel=1e-9
+        )
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=3, max_size=30))
+    def test_crossing_is_sorted_with_threshold(self, values):
+        """For a monotone waveform, crossing time is monotone in threshold."""
+        values = sorted(values)
+        assume(values[-1] > values[0] + 0.1)
+        times = np.linspace(0, 1e-9, len(values))
+        wave = Waveform(times, np.array(values))
+        lo_t = wave.cross_time(values[0] + 0.05 * (values[-1] - values[0]))
+        hi_t = wave.cross_time(values[0] + 0.95 * (values[-1] - values[0]))
+        assert lo_t <= hi_t
+
+
+class TestRCTreeProperties:
+    @staticmethod
+    def random_tree(data):
+        tree = RCTree("root", driver_resistance=data.draw(st.floats(0, 1e3)))
+        names = ["root"]
+        n = data.draw(st.integers(1, 12))
+        for i in range(n):
+            parent = data.draw(st.sampled_from(names))
+            name = f"n{i}"
+            tree.add_node(
+                name,
+                parent,
+                data.draw(st.floats(1.0, 1e3)),
+                data.draw(st.floats(0, 50e-15)),
+            )
+            names.append(name)
+        return tree
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_elmore_monotone_along_paths(self, data):
+        """Delay never decreases walking away from the driver."""
+        tree = self.random_tree(data)
+        delays = elmore_delays(tree)
+        for node in tree.nodes():
+            if node.parent is not None:
+                assert delays[node.name] >= delays[node.parent.name] - 1e-18
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_first_moment_is_negative_elmore(self, data):
+        tree = self.random_tree(data)
+        delays = elmore_delays(tree)
+        moments = rc_tree_moments(tree, order=1)
+        for name, delay in delays.items():
+            assert -moments[name][0] == pytest.approx(delay, rel=1e-9, abs=1e-20)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_subtree_caps_partition(self, data):
+        tree = self.random_tree(data)
+        caps = tree.subtree_caps()
+        assert caps["root"] == pytest.approx(tree.total_cap())
+        for node in tree.nodes():
+            if node.children:
+                children_sum = sum(caps[c.name] for c in node.children)
+                assert caps[node.name] == pytest.approx(
+                    node.cap + children_sum, rel=1e-12, abs=1e-22
+                )
+
+
+class TestPolynomialFitProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(-10, 10), st.floats(-10, 10)),
+            min_size=12,
+            max_size=40,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=30)
+    def test_linear_recovery(self, pairs):
+        xs = np.array([p[0] for p in pairs])
+        assume(np.ptp(xs) > 1.0)
+        slope, intercept = 2.5, -1.0
+        ys = slope * xs + intercept
+        fit = PolynomialFit.fit(xs, ys, degree=1)
+        assert fit.quality.rms_error < 1e-6
+        mid = float(np.median(xs))
+        assert fit.predict(mid) == pytest.approx(slope * mid + intercept, abs=1e-6)
+
+    @given(st.floats(-100, 100))
+    def test_clamping_bounds_output(self, query):
+        xs = np.linspace(0, 1, 10)
+        fit = PolynomialFit.fit(xs, xs, degree=1)
+        assert 0.0 - 1e-9 <= fit.predict(query) <= 1.0 + 1e-9

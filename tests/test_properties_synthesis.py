@@ -1,0 +1,115 @@
+"""Property-based tests on the synthesis machinery (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.charlib import load_default_library
+from repro.core.options import CTSOptions
+from repro.core.segment_builder import PathBuilder, SegmentTables
+from repro.geom.point import Point
+from repro.tech import default_technology
+from repro.timing.analysis import LibraryTimingEngine
+from repro.tree.nodes import make_buffer, make_merge, make_sink
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return load_default_library(default_technology())
+
+
+class TestPathBuilderProperties:
+    @given(
+        step=st.floats(120.0, 900.0),
+        target_ps=st.floats(55.0, 95.0),
+        load_idx=st.integers(0, 2),
+        distance_steps=st.integers(5, 70),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_slew_invariant_across_parameters(
+        self, lib, step, target_ps, load_idx, distance_steps
+    ):
+        """Whatever the grid pitch, slew target and load: every committed
+        segment of a built path admits its chosen buffer within target."""
+        target = target_ps * 1e-12
+        load = lib.buffer_names[load_idx]
+        tables = SegmentTables(lib, step, distance_steps + 2, target)
+        builder = PathBuilder(
+            tables, 0.0, load, target, lib.buffer_names, lib.buffer_names[-1], 3
+        )
+        state = builder.state(distance_steps)
+        positions = [0] + [b.steps for b in state.buffers]
+        loads = [load] + [b.type_name for b in state.buffers]
+        for i in range(1, len(positions)):
+            seg = positions[i] - positions[i - 1]
+            assert seg >= 0
+            drive = state.buffers[i - 1].type_name
+            slew = tables.wire_slew(drive, loads[i - 1], seg)
+            assert slew <= target * 1.0001
+        # Delay accumulates and positions stay ordered/in range.
+        assert state.delay >= 0
+        assert positions == sorted(positions)
+        assert all(0 <= p <= distance_steps for p in positions[1:])
+
+    @given(
+        base_ps=st.floats(0.0, 500.0),
+        distance_steps=st.integers(2, 40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_base_delay_is_pure_offset(self, lib, base_ps, distance_steps):
+        target = 80e-12
+        tables = SegmentTables(lib, 300.0, distance_steps + 2, target)
+
+        def build(base):
+            return PathBuilder(
+                tables, base, "BUF20X", target, lib.buffer_names,
+                lib.buffer_names[-1], 3,
+            ).state(distance_steps)
+
+        s0 = build(0.0)
+        s1 = build(base_ps * 1e-12)
+        assert s1.delay - s0.delay == pytest.approx(base_ps * 1e-12, abs=1e-18)
+        assert s1.buffers == s0.buffers
+
+
+class TestEngineProperties:
+    @given(
+        wire=st.floats(100.0, 2800.0),
+        slew_ps=st.floats(30.0, 110.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_buffer_bounds_monotone_in_wire(self, lib, wire, slew_ps):
+        """Longer stage wire below a buffer never reduces its delay."""
+        tech = default_technology()
+        engine = LibraryTimingEngine(lib, tech)
+        buf_type = lib.buffer_names[1]
+        from repro.tech import cts_buffer_library
+
+        buffers = cts_buffer_library()
+        short = make_buffer(Point(0, 0), buffers[buf_type])
+        short.attach(make_sink(Point(wire, 0), 8e-15))
+        long = make_buffer(Point(0, 0), buffers[buf_type])
+        long.attach(make_sink(Point(wire + 300.0, 0), 8e-15))
+        s = engine.buffer_subtree_bounds(short, slew_ps * 1e-12)
+        l = engine.buffer_subtree_bounds(long, slew_ps * 1e-12)
+        assert l.max_delay >= s.max_delay - 0.3e-12
+
+    @given(split=st.floats(0.1, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_merge_bounds_contain_child_extremes(self, lib, split):
+        """A merge's delay interval spans (at least) its children's."""
+        tech = default_technology()
+        engine = LibraryTimingEngine(lib, tech)
+        total = 2400.0
+        merge = make_merge(Point(split * total, 0))
+        merge.attach(make_sink(Point(0, 0), 8e-15))
+        merge.attach(make_sink(Point(total, 0), 6e-15))
+        bounds = engine.subtree_bounds(merge, 80e-12)
+        assert bounds.min_delay >= 0
+        assert bounds.max_delay >= bounds.min_delay
+        # The longer side's wire delay dominates the max.
+        longer = max(split, 1.0 - split) * total
+        shorter = min(split, 1.0 - split) * total
+        assert bounds.max_delay >= bounds.min_delay * (
+            1.0 if longer == shorter else 0.99
+        )

@@ -1,0 +1,54 @@
+"""The experiment-report stitcher."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.evalx.report import (
+    SECTIONS,
+    collect_sections,
+    render_report,
+    write_report,
+)
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "table_5_1.txt").write_text("Table 5.1 body\nrow\n")
+    (tmp_path / "fig_1_1.txt").write_text("Fig 1.1 body\n")
+    return tmp_path
+
+
+class TestCollect:
+    def test_found_and_missing(self, results_dir):
+        sections = collect_sections(results_dir)
+        assert len(sections) == len(SECTIONS)
+        by_key = {s.key: s for s in sections}
+        assert by_key["table_5_1"].body == "Table 5.1 body\nrow"
+        assert by_key["table_5_2"].body is None
+
+
+class TestRender:
+    def test_render_contains_bodies_and_flags(self, results_dir):
+        text = render_report(results_dir=results_dir)
+        assert text.startswith("# Reproduction report")
+        assert "Table 5.1 body" in text
+        assert "*not generated in this run*" in text
+        assert f"2/{len(SECTIONS)} experiment artifacts present" in text
+
+    def test_every_known_section_titled(self, results_dir):
+        text = render_report(results_dir=results_dir)
+        for __, title in SECTIONS:
+            assert title in text
+
+
+class TestWrite:
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(path=tmp_path / "out.md", results_dir=results_dir)
+        assert out.exists()
+        assert "Fig 1.1 body" in out.read_text()
+
+    def test_default_target_inside_results(self, results_dir):
+        out = write_report(results_dir=results_dir)
+        assert out.parent == Path(results_dir)
+        assert out.name == "REPORT.md"

@@ -1,0 +1,132 @@
+"""Transient-solver edge cases and numerical controls."""
+
+import numpy as np
+import pytest
+
+from repro.spice.circuit import Circuit
+from repro.spice.transient import (
+    ConvergenceError,
+    TransientOptions,
+    dc_operating_point,
+    simulate,
+)
+from repro.tech import cts_buffer_library, default_technology
+from repro.timing.waveform import Waveform, ramp_waveform
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+class TestDCOperatingPoint:
+    def test_inverter_chain_alternates(self, tech):
+        circuit = Circuit(tech)
+        circuit.add_vsource("in", 0.0)
+        prev = "in"
+        for i in range(4):
+            node = f"n{i}"
+            circuit.add_inverter(prev, node, 10.0)
+            prev = node
+        op = dc_operating_point(circuit)
+        assert op["n0"] == pytest.approx(tech.vdd, abs=0.02)
+        assert op["n1"] == pytest.approx(0.0, abs=0.02)
+        assert op["n2"] == pytest.approx(tech.vdd, abs=0.02)
+        assert op["n3"] == pytest.approx(0.0, abs=0.02)
+
+    def test_dc_through_resistive_divider(self, tech):
+        circuit = Circuit(tech)
+        circuit.add_vsource("in", 1.0)
+        circuit.add_resistor("in", "mid", 1000.0)
+        circuit.add_resistor("mid", "0", 1000.0)
+        op = dc_operating_point(circuit)
+        assert op["mid"] == pytest.approx(0.5, abs=1e-3)
+
+    def test_dc_at_nonzero_time(self, tech):
+        wave = ramp_waveform(1.0, 100e-12, t_start=0.0)
+        circuit = Circuit(tech)
+        circuit.add_vsource("in", wave)
+        circuit.add_resistor("in", "out", 100.0)
+        circuit.add_cap("out", 1e-15)
+        op_late = dc_operating_point(circuit, at_time=1e-9)
+        assert op_late["out"] == pytest.approx(1.0, abs=1e-3)
+
+    def test_mid_node_initialized_high(self, tech):
+        """A buffer's internal node starts at Vdd for a low input — the
+        logic-guess propagation working as intended."""
+        circuit = Circuit(tech)
+        circuit.add_vsource("in", 0.0)
+        mid = circuit.add_buffer("in", "out", cts_buffer_library()["BUF20X"])
+        op = dc_operating_point(circuit)
+        assert op[mid] == pytest.approx(tech.vdd, abs=0.02)
+        assert op["out"] == pytest.approx(0.0, abs=0.02)
+
+
+class TestNumericalControls:
+    def test_tight_tolerance_still_converges(self, tech):
+        circuit = Circuit(tech)
+        circuit.add_vsource("in", ramp_waveform(tech.vdd, 60e-12, t_start=20e-12))
+        circuit.add_buffer("in", "out", cts_buffer_library()["BUF30X"])
+        circuit.add_cap("out", 50e-15)
+        opts = TransientOptions(dt=1e-12, vtol=1e-8, max_newton=120)
+        result = simulate(circuit, opts)
+        assert result.final_voltage("out") == pytest.approx(tech.vdd, abs=0.01)
+
+    def test_coarse_timestep_stable(self, tech):
+        """Backward Euler is A-stable: a huge dt must not oscillate."""
+        circuit = Circuit(tech)
+        times = np.array([0.0, 1e-15, 1e-9])
+        circuit.add_vsource("in", Waveform(times, np.array([0.0, 1.0, 1.0])))
+        circuit.add_resistor("in", "out", 100.0)
+        circuit.add_cap("out", 10e-15)  # tau = 1 ps << dt
+        result = simulate(
+            circuit, TransientOptions(dt=50e-12, t_stop=1e-9, auto_stop=False)
+        )
+        values = result.waveform("out").values
+        assert np.all(values <= 1.0 + 1e-6)
+        assert np.all(np.diff(values) >= -1e-9)  # monotone rise
+
+    def test_two_waveform_sources(self, tech):
+        w1 = ramp_waveform(1.0, 50e-12, t_start=10e-12)
+        w2 = ramp_waveform(1.0, 50e-12, t_start=200e-12)
+        circuit = Circuit(tech)
+        circuit.add_vsource("a", w1)
+        circuit.add_vsource("b", w2)
+        circuit.add_resistor("a", "out", 1000.0)
+        circuit.add_resistor("b", "out", 1000.0)
+        circuit.add_cap("out", 20e-15)
+        result = simulate(circuit, TransientOptions(dt=1e-12, t_stop=0.6e-9, auto_stop=False))
+        wave = result.waveform("out")
+        # Midpoint after first ramp only: ~0.5; after both: ~1.0.
+        assert wave.value_at(150e-12) == pytest.approx(0.5, abs=0.05)
+        assert wave.value_at(550e-12) == pytest.approx(1.0, abs=0.02)
+
+    def test_no_unknowns_rejected(self, tech):
+        circuit = Circuit(tech)
+        circuit.add_vsource("in", 1.0)
+        circuit.add_cap("in", 1e-15)
+        with pytest.raises(ValueError):
+            simulate(circuit, TransientOptions(dt=1e-12, t_stop=1e-10))
+
+
+class TestWireSegmentation:
+    def test_segment_cap_hard_cap(self, tech):
+        from repro.spice.circuit import MAX_SEGMENTS_PER_WIRE
+
+        circuit = Circuit(tech)
+        circuit.add_wire("a", "b", 1e6, segment_length=1.0)
+        assert len(circuit.resistors) == MAX_SEGMENTS_PER_WIRE
+
+    def test_fine_and_coarse_segmentation_agree(self, tech):
+        """50% delay through a wire barely moves with segmentation."""
+        delays = {}
+        for seg_len in (200.0, 800.0):
+            circuit = Circuit(tech)
+            wave = ramp_waveform(tech.vdd, 60e-12, t_start=20e-12)
+            circuit.add_vsource("in", wave)
+            circuit.add_buffer("in", "drv", cts_buffer_library()["BUF20X"])
+            circuit.add_wire("drv", "end", 2400.0, segment_length=seg_len)
+            circuit.add_cap("end", 10e-15)
+            result = simulate(circuit, TransientOptions(dt=1e-12))
+            delays[seg_len] = result.waveform("end").cross_time(tech.vdd / 2)
+        assert delays[200.0] == pytest.approx(delays[800.0], abs=1.5e-12)

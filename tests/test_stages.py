@@ -1,0 +1,148 @@
+"""Stage specs and stage simulation (the SPICE-replacement workhorse)."""
+
+import pytest
+
+from repro.spice.stages import (
+    STAGE_ROOT,
+    StageSpec,
+    StageWire,
+    branch_spec,
+    simulate_stage,
+    single_wire_spec,
+)
+from repro.spice.circuit import Circuit
+from repro.spice.transient import TransientOptions, simulate
+from repro.tech import cts_buffer_library, default_technology
+from repro.timing.waveform import ramp_waveform
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture(scope="module")
+def buf20():
+    return cts_buffer_library()["BUF20X"]
+
+
+@pytest.fixture(scope="module")
+def input_wave(tech):
+    return ramp_waveform(tech.vdd, 80e-12, t_start=50e-12)
+
+
+class TestSpecValidation:
+    def test_single_wire_spec(self, buf20):
+        spec = single_wire_spec(buf20, 1000.0, 10e-15)
+        spec.validate()
+        assert spec.total_wire_length() == 1000.0
+        assert spec.total_load_cap() == 10e-15
+
+    def test_branch_spec_shape(self, buf20):
+        spec = branch_spec(buf20, 800.0, 1200.0, 5e-15, 7e-15, stem_length=300.0)
+        spec.validate()
+        assert spec.total_wire_length() == 2300.0
+        assert sorted(spec.node_ids()) == [0, 1, 2, 3]
+
+    def test_orphan_parent_rejected(self, buf20):
+        spec = StageSpec(buf20, wires=[StageWire(5, 6, 100.0)])
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_double_parent_rejected(self, buf20):
+        spec = StageSpec(
+            buf20,
+            wires=[StageWire(0, 1, 100.0), StageWire(0, 1, 50.0)],
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_load_at_unknown_node_rejected(self, buf20):
+        spec = StageSpec(buf20, load_caps={9: 1e-15})
+        with pytest.raises(ValueError):
+            spec.validate()
+
+
+class TestSingleWireMeasurements:
+    def test_basic_measurements(self, tech, buf20, input_wave):
+        sim = simulate_stage(tech, single_wire_spec(buf20, 2000.0, 15e-15), input_wave)
+        assert sim.input_slew() == pytest.approx(80e-12, rel=0.02)
+        assert sim.buffer_delay() > 10e-12
+        assert sim.delay_to(1) > sim.buffer_delay()
+        assert sim.slew_at(1) > 0
+        assert sim.worst_slew() >= sim.slew_at(1) - 1e-15
+
+    def test_longer_wire_slower_and_sloppier(self, tech, buf20, input_wave):
+        short = simulate_stage(tech, single_wire_spec(buf20, 500.0, 15e-15), input_wave)
+        long = simulate_stage(tech, single_wire_spec(buf20, 3000.0, 15e-15), input_wave)
+        assert long.delay_to(1) > short.delay_to(1)
+        assert long.slew_at(1) > short.slew_at(1)
+
+    def test_intrinsic_delay_grows_with_input_slew(self, tech, buf20):
+        """The effect that motivates the whole delay library (Sec. 3.1)."""
+        spec = single_wire_spec(buf20, 1000.0, 15e-15)
+        slow = simulate_stage(
+            tech, spec, ramp_waveform(tech.vdd, 160e-12, t_start=50e-12)
+        )
+        fast = simulate_stage(
+            tech, spec, ramp_waveform(tech.vdd, 40e-12, t_start=50e-12)
+        )
+        assert slow.buffer_delay() > fast.buffer_delay() + 5e-12
+
+    def test_driverless_stage(self, tech, input_wave):
+        """drive=None models the ideal clock source."""
+        spec = StageSpec(None, wires=[StageWire(0, 1, 500.0)], load_caps={1: 10e-15})
+        sim = simulate_stage(tech, spec, input_wave)
+        assert sim.delay_to(1) > 0
+        assert sim.delay_to(1) < 20e-12  # ideal driver: only wire delay
+
+
+class TestBranchMeasurements:
+    def test_branch_symmetry(self, tech, buf20, input_wave):
+        spec = branch_spec(buf20, 1500.0, 1500.0, 8e-15, 8e-15)
+        sim = simulate_stage(tech, spec, input_wave)
+        assert sim.delay_to(2) == pytest.approx(sim.delay_to(3), abs=0.5e-12)
+        assert sim.slew_at(2) == pytest.approx(sim.slew_at(3), rel=0.02)
+
+    def test_longer_branch_is_slower(self, tech, buf20, input_wave):
+        spec = branch_spec(buf20, 800.0, 2400.0, 8e-15, 8e-15)
+        sim = simulate_stage(tech, spec, input_wave)
+        assert sim.delay_to(3) > sim.delay_to(2)
+
+    def test_branch_coupling(self, tech, buf20, input_wave):
+        """Loading the right branch slows the left one (shared driver)."""
+        light = branch_spec(buf20, 1500.0, 200.0, 8e-15, 4e-15)
+        heavy = branch_spec(buf20, 1500.0, 3000.0, 8e-15, 22e-15)
+        d_light = simulate_stage(tech, light, input_wave).delay_to(2)
+        d_heavy = simulate_stage(tech, heavy, input_wave).delay_to(2)
+        assert d_heavy > d_light + 2e-12
+
+
+class TestStageVsFlatCircuit:
+    def test_stage_matches_manual_circuit(self, tech, buf20, input_wave):
+        """The stage builder must produce the same answer as hand assembly."""
+        spec = single_wire_spec(buf20, 1200.0, 12e-15)
+        sim = simulate_stage(tech, spec, input_wave, dt=1e-12)
+
+        circuit = Circuit(tech)
+        circuit.add_vsource("in", input_wave)
+        circuit.add_buffer("in", "drv", buf20)
+        circuit.add_wire("drv", "end", 1200.0)
+        circuit.add_cap("end", 12e-15)
+        t_stop = float(input_wave.times[-1]) + 1.5e-9
+        result = simulate(
+            circuit,
+            TransientOptions(dt=1e-12, t_start=float(input_wave.times[0]), t_stop=t_stop),
+        )
+        manual = result.waveform("end").cross_time(tech.vdd / 2)
+        staged = sim.waveform(1).cross_time(tech.vdd / 2)
+        assert staged == pytest.approx(manual, abs=0.3e-12)
+
+    def test_trimmed_waveform_preserves_crossings(self, tech, buf20, input_wave):
+        sim = simulate_stage(tech, single_wire_spec(buf20, 1000.0, 10e-15), input_wave)
+        full = sim.waveform(1)
+        trimmed = sim.trimmed_waveform(1)
+        assert trimmed.cross_time(tech.vdd / 2) == pytest.approx(
+            full.cross_time(tech.vdd / 2), abs=0.1e-12
+        )
+        assert trimmed.times.size <= full.times.size

@@ -1,0 +1,153 @@
+"""Stage decomposition of clock trees and its electrical equivalence."""
+
+import pytest
+
+from repro.geom import Point
+from repro.spice.stages import simulate_stage
+from repro.tech import cts_buffer_library
+from repro.tree.nodes import (
+    make_buffer,
+    make_merge,
+    make_sink,
+    make_source,
+    make_steiner,
+)
+from repro.tree.netlist_export import tree_circuit
+from repro.tree.stages_map import stage_spec_for, stage_structure, tree_stages
+from repro.spice.transient import TransientOptions, simulate
+from repro.timing.waveform import ramp_waveform
+
+
+@pytest.fixture()
+def buf20():
+    return cts_buffer_library()["BUF20X"]
+
+
+class TestStageStructure:
+    def test_single_wire_stage(self, buf20):
+        root = make_buffer(Point(0, 0), buf20)
+        root.attach(make_sink(Point(1000, 0), 5e-15))
+        structure = stage_structure(root)
+        assert structure.is_load
+        assert structure.length == 1000
+        assert structure.max_branch_depth() == 0
+
+    def test_steiner_bends_absorbed(self, buf20):
+        root = make_buffer(Point(0, 0), buf20)
+        bend1 = make_steiner(Point(400, 0))
+        bend2 = make_steiner(Point(400, 300))
+        root.attach(bend1)
+        bend1.attach(bend2)
+        bend2.attach(make_sink(Point(600, 300), 5e-15))
+        structure = stage_structure(root)
+        assert structure.is_load
+        assert structure.length == pytest.approx(400 + 300 + 200)
+
+    def test_branch_stage(self, buf20):
+        root = make_buffer(Point(0, 0), buf20)
+        merge = make_merge(Point(500, 0))
+        root.attach(merge)
+        merge.attach(make_sink(Point(500, 400), 5e-15))
+        merge.attach(make_buffer(Point(900, 0), buf20))
+        merge.children[-1].attach(make_sink(Point(1200, 0), 4e-15))
+        structure = stage_structure(root)
+        assert not structure.is_load
+        assert structure.length == 500
+        assert len(structure.branches) == 2
+        assert structure.max_branch_depth() == 1
+        # The stage stops at the buffer: the sink behind it is not included.
+        ends = {b.end.kind.value for b in structure.branches}
+        assert ends == {"sink", "buffer"}
+
+    def test_nested_merges(self, buf20):
+        root = make_buffer(Point(0, 0), buf20)
+        m1 = make_merge(Point(300, 0))
+        m2 = make_merge(Point(600, 0))
+        root.attach(m1)
+        m1.attach(m2)
+        m1.attach(make_sink(Point(300, 300), 5e-15))
+        m2.attach(make_sink(Point(600, 300), 5e-15))
+        m2.attach(make_sink(Point(900, 0), 5e-15))
+        structure = stage_structure(root)
+        assert structure.max_branch_depth() == 2
+
+    def test_dangling_buffer_returns_none(self, buf20):
+        assert stage_structure(make_buffer(Point(0, 0), buf20)) is None
+
+    def test_non_stage_root_rejected(self):
+        with pytest.raises(ValueError):
+            stage_structure(make_merge(Point(0, 0)))
+
+
+class TestStageSpec:
+    def test_spec_loads_and_map(self, buf20, tech):
+        root = make_buffer(Point(0, 0), buf20)
+        merge = make_merge(Point(500, 0))
+        root.attach(merge)
+        sink = make_sink(Point(500, 400), 5e-15)
+        load_buf = make_buffer(Point(900, 0), buf20)
+        merge.attach(sink)
+        merge.attach(load_buf)
+        load_buf.attach(make_sink(Point(1000, 0), 4e-15))
+        spec, id_map = stage_spec_for(root, tech)
+        spec.validate()
+        mapped = {node.name for node in id_map.values()}
+        assert sink.name in mapped
+        assert load_buf.name in mapped
+        caps = sorted(spec.load_caps.values())
+        assert caps == sorted([5e-15, buf20.input_cap(tech)])
+
+    def test_tree_stages_topological(self, buf20):
+        root_buf = make_buffer(Point(0, 0), buf20)
+        mid_buf = make_buffer(Point(500, 0), buf20)
+        root_buf.attach(mid_buf)
+        mid_buf.attach(make_sink(Point(900, 0), 4e-15))
+        source = make_source(Point(0, 0))
+        source.attach(root_buf, 0.0)
+        stages = tree_stages(source)
+        names = [s.name for s in stages]
+        assert names.index(source.name) < names.index(root_buf.name)
+        assert names.index(root_buf.name) < names.index(mid_buf.name)
+
+
+class TestStageVsFlatTreeSimulation:
+    def test_stage_decomposition_matches_flat_sim(self, buf20, tech):
+        """Stage-by-stage composition == flat whole-tree simulation.
+
+        This is the exactness claim evaluate_tree relies on.
+        """
+        sink_a = make_sink(Point(0, 0), 5e-15, "sA")
+        sink_b = make_sink(Point(2400, 0), 6e-15, "sB")
+        buf_b = make_buffer(Point(1800, 0), buf20)
+        buf_b.attach(sink_b)
+        merge = make_merge(Point(1200, 0))
+        merge.attach(sink_a)
+        merge.attach(buf_b)
+        root_buf = make_buffer(Point(1200, 200), buf20)
+        root_buf.attach(merge)
+        source = make_source(Point(1200, 220))
+        source.attach(root_buf)
+
+        wave = ramp_waveform(tech.vdd, 60e-12, t_start=50e-12)
+        # Flat: the whole tree in one circuit.
+        circuit = tree_circuit(source, tech, source_wave=wave)
+        flat = simulate(circuit, TransientOptions(dt=0.5e-12))
+        flat_a = flat.waveform("n_sA").cross_time(tech.vdd / 2)
+        flat_b = flat.waveform("n_sB").cross_time(tech.vdd / 2)
+
+        # Staged: source stage then root_buf stage then buf_b stage.
+        spec0, map0 = stage_spec_for(source, tech)
+        sim0 = simulate_stage(tech, spec0, wave, dt=0.5e-12)
+        (rb_id,) = [i for i, n in map0.items() if n is root_buf]
+        spec1, map1 = stage_spec_for(root_buf, tech)
+        sim1 = simulate_stage(tech, spec1, sim0.trimmed_waveform(rb_id), dt=0.5e-12)
+        a_id = [i for i, n in map1.items() if n is sink_a][0]
+        bb_id = [i for i, n in map1.items() if n is buf_b][0]
+        spec2, map2 = stage_spec_for(buf_b, tech)
+        sim2 = simulate_stage(tech, spec2, sim1.trimmed_waveform(bb_id), dt=0.5e-12)
+        b_id = [i for i, n in map2.items() if n is sink_b][0]
+
+        staged_a = sim1.waveform(a_id).cross_time(tech.vdd / 2)
+        staged_b = sim2.waveform(b_id).cross_time(tech.vdd / 2)
+        assert staged_a == pytest.approx(flat_a, abs=1.0e-12)
+        assert staged_b == pytest.approx(flat_b, abs=1.0e-12)

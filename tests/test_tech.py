@@ -1,0 +1,120 @@
+"""Technology, wire model, and buffer library."""
+
+import pytest
+
+from repro.tech import (
+    BufferLibrary,
+    BufferType,
+    Technology,
+    cts_buffer_library,
+    default_technology,
+    sizing_sweep_library,
+)
+from repro.tech.presets import GSRC_UNIT_CAPACITANCE, GSRC_UNIT_RESISTANCE
+
+
+class TestWireModel:
+    def test_paper_10x_scaling(self):
+        tech = default_technology()
+        assert tech.wire.resistance_per_unit == pytest.approx(
+            10 * GSRC_UNIT_RESISTANCE
+        )
+        assert tech.wire.capacitance_per_unit == pytest.approx(
+            10 * GSRC_UNIT_CAPACITANCE
+        )
+
+    def test_totals_scale_linearly(self):
+        wire = default_technology().wire
+        assert wire.total_r(2000) == pytest.approx(2 * wire.total_r(1000))
+        assert wire.total_c(2000) == pytest.approx(2 * wire.total_c(1000))
+
+    def test_rc_delay_quadratic_in_length(self):
+        wire = default_technology().wire
+        d1 = wire.rc_delay(1000)
+        d2 = wire.rc_delay(2000)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_custom_wire_scale(self):
+        t1 = default_technology(wire_scale=1.0)
+        t10 = default_technology(wire_scale=10.0)
+        assert t10.wire.resistance_per_unit == pytest.approx(
+            10 * t1.wire.resistance_per_unit
+        )
+
+    def test_with_wire_scaling(self):
+        tech = default_technology()
+        scaled = tech.with_wire_scaling(2.0)
+        assert scaled.wire.resistance_per_unit == pytest.approx(
+            2 * tech.wire.resistance_per_unit
+        )
+        assert scaled.vdd == tech.vdd
+
+
+class TestBufferType:
+    def test_input_cap_smaller_than_output_drive(self, tech):
+        buf = BufferType("B20", 20.0, stage_ratio=4.0)
+        assert buf.input_size == 5.0
+        assert buf.input_cap(tech) == pytest.approx(5.0 * tech.gate_cap_per_x)
+
+    def test_drive_resistance_decreases_with_size(self, tech):
+        small = BufferType("S", 10.0)
+        large = BufferType("L", 30.0)
+        assert large.drive_resistance(tech) < small.drive_resistance(tech)
+
+    def test_calibration_regime(self, tech):
+        """The preset calibration: Reff(20X) ~ 100 Ohm (see presets.py)."""
+        buf = BufferType("B", 20.0)
+        assert 50.0 < buf.drive_resistance(tech) < 200.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BufferType("bad", -1.0)
+        with pytest.raises(ValueError):
+            BufferType("bad", 10.0, stage_ratio=0.5)
+
+
+class TestBufferLibrary:
+    def test_sorted_smallest_to_largest(self):
+        lib = cts_buffer_library()
+        sizes = [b.size for b in lib]
+        assert sizes == sorted(sizes)
+        assert lib.smallest.size == 10.0
+        assert lib.largest.size == 30.0
+
+    def test_paper_library_has_three_buffers(self):
+        assert len(cts_buffer_library()) == 3
+
+    def test_lookup_and_contains(self):
+        lib = cts_buffer_library()
+        assert "BUF20X" in lib
+        assert lib["BUF20X"].size == 20.0
+        with pytest.raises(KeyError):
+            lib["BUF99X"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            BufferLibrary([BufferType("A", 1), BufferType("A", 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BufferLibrary([])
+
+    def test_closest_by_input_cap(self, tech):
+        lib = cts_buffer_library()
+        tiny = lib.closest_by_input_cap(1e-15, tech)
+        assert tiny.name == "BUF10X"
+        huge = lib.closest_by_input_cap(1e-12, tech)
+        assert huge.name == "BUF30X"
+
+    def test_subset(self):
+        lib = sizing_sweep_library().subset(["BUF10X", "BUF30X"])
+        assert lib.names == ["BUF10X", "BUF30X"]
+
+
+class TestTechnologyThresholds:
+    def test_threshold_voltages(self):
+        tech = default_technology()
+        assert tech.logic_threshold_voltage() == pytest.approx(0.5 * tech.vdd)
+        lo, hi = tech.slew_window_voltages()
+        assert lo == pytest.approx(0.1 * tech.vdd)
+        assert hi == pytest.approx(0.9 * tech.vdd)

@@ -1,0 +1,169 @@
+"""RC trees, Elmore delay, and moment metrics (D2M / PERI / S2M)."""
+
+import math
+
+import pytest
+
+from repro.spice.circuit import Circuit
+from repro.spice.transient import TransientOptions, simulate
+from repro.tech import default_technology
+from repro.timing.elmore import elmore_delay_to, elmore_delays, wire_elmore_delay
+from repro.timing.moments import (
+    d2m_delay,
+    elmore_slew_peri,
+    lognormal_step_slew,
+    node_metrics,
+    rc_tree_moments,
+)
+from repro.timing.rctree import RCTree
+from repro.timing.waveform import Waveform
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_technology()
+
+
+def two_node_tree(r1=1000.0, c1=50e-15, r2=2000.0, c2=30e-15, rd=0.0):
+    tree = RCTree("root", driver_resistance=rd)
+    tree.add_node("a", "root", r1, c1)
+    tree.add_node("b", "a", r2, c2)
+    return tree
+
+
+class TestRCTree:
+    def test_add_and_lookup(self):
+        tree = two_node_tree()
+        assert tree["a"].resistance == 1000.0
+        assert "b" in tree
+        with pytest.raises(KeyError):
+            tree["zzz"]
+
+    def test_duplicate_rejected(self):
+        tree = two_node_tree()
+        with pytest.raises(ValueError):
+            tree.add_node("a", "root", 1.0, 1e-15)
+
+    def test_subtree_caps(self):
+        tree = two_node_tree()
+        caps = tree.subtree_caps()
+        assert caps["b"] == pytest.approx(30e-15)
+        assert caps["a"] == pytest.approx(80e-15)
+        assert caps["root"] == pytest.approx(80e-15)
+
+    def test_add_wire_totals(self, tech):
+        tree = RCTree("root")
+        tree.add_wire("root", "end", 1000.0, tech.wire, n_segments=8)
+        assert tree.total_cap() == pytest.approx(tech.wire.total_c(1000.0))
+
+    def test_leaves_and_path(self):
+        tree = two_node_tree()
+        assert [n.name for n in tree.leaves()] == ["b"]
+        assert [n.name for n in tree["b"].path_to_root()] == ["b", "a", "root"]
+
+
+class TestElmore:
+    def test_hand_computed_chain(self):
+        """T(b) = r1*(c1+c2) + r2*c2."""
+        tree = two_node_tree()
+        delays = elmore_delays(tree)
+        assert delays["a"] == pytest.approx(1000 * 80e-15)
+        assert delays["b"] == pytest.approx(1000 * 80e-15 + 2000 * 30e-15)
+
+    def test_driver_resistance_adds_to_all(self):
+        tree = two_node_tree(rd=500.0)
+        delays = elmore_delays(tree)
+        assert delays["root"] == pytest.approx(500 * 80e-15)
+        assert delays["b"] == pytest.approx(
+            500 * 80e-15 + 1000 * 80e-15 + 2000 * 30e-15
+        )
+
+    def test_branches_share_upstream(self):
+        tree = RCTree("root")
+        tree.add_node("stem", "root", 100.0, 10e-15)
+        tree.add_node("l", "stem", 200.0, 20e-15)
+        tree.add_node("r", "stem", 300.0, 5e-15)
+        delays = elmore_delays(tree)
+        total = 35e-15
+        assert delays["l"] == pytest.approx(100 * total + 200 * 20e-15)
+        assert delays["r"] == pytest.approx(100 * total + 300 * 5e-15)
+
+    def test_wire_elmore_closed_form(self, tech):
+        length, load = 2000.0, 20e-15
+        closed = wire_elmore_delay(length, tech.wire, load, driver_resistance=100.0)
+        r, c = tech.wire.total_r(length), tech.wire.total_c(length)
+        assert closed == pytest.approx(100 * (c + load) + r * (c / 2 + load))
+
+    def test_elmore_overestimates_simulated_delay(self, tech):
+        """The paper's claim: Elmore is pessimistic for step responses."""
+        r_seg, c_seg, n = 200.0, 40e-15, 8
+        tree = RCTree("root")
+        prev = "root"
+        circuit = Circuit(tech)
+        times = np.array([0.0, 1e-15, 1e-9])
+        circuit.add_vsource("root", Waveform(times, np.array([0.0, 1.0, 1.0])))
+        for i in range(n):
+            node = f"n{i}"
+            tree.add_node(node, prev, r_seg, c_seg)
+            circuit.add_resistor(prev, node, r_seg)
+            circuit.add_cap(node, c_seg)
+            prev = node
+        elmore = elmore_delay_to(tree, prev)
+        result = simulate(circuit, TransientOptions(dt=0.25e-12, t_stop=0.5e-9, auto_stop=False))
+        simulated = result.waveform(prev).cross_time(0.5)
+        assert elmore > simulated  # pessimistic
+        assert simulated > 0.4 * elmore  # but same order
+
+
+class TestMoments:
+    def test_first_moment_is_minus_elmore(self):
+        tree = two_node_tree(rd=100.0)
+        moments = rc_tree_moments(tree, order=1)
+        delays = elmore_delays(tree)
+        for name in ("a", "b"):
+            assert -moments[name][0] == pytest.approx(delays[name])
+
+    def test_d2m_below_elmore(self):
+        """D2M is known to be tighter than Elmore for RC trees."""
+        tree = two_node_tree()
+        m = rc_tree_moments(tree, order=2)["b"]
+        assert d2m_delay(abs(m[0]), abs(m[1])) <= abs(m[0])
+
+    def test_d2m_close_to_simulation_on_ladder(self, tech):
+        r_seg, c_seg, n = 200.0, 40e-15, 8
+        tree = RCTree("root")
+        circuit = Circuit(tech)
+        times = np.array([0.0, 1e-15, 1e-9])
+        circuit.add_vsource("root", Waveform(times, np.array([0.0, 1.0, 1.0])))
+        prev = "root"
+        for i in range(n):
+            node = f"n{i}"
+            tree.add_node(node, prev, r_seg, c_seg)
+            circuit.add_resistor(prev, node, r_seg)
+            circuit.add_cap(node, c_seg)
+            prev = node
+        m1, m2 = rc_tree_moments(tree, order=2)[prev]
+        estimate = d2m_delay(abs(m1), abs(m2))
+        result = simulate(circuit, TransientOptions(dt=0.25e-12, t_stop=0.5e-9, auto_stop=False))
+        simulated = result.waveform(prev).cross_time(0.5)
+        # D2M should be within ~20% where Elmore errs by ~45%.
+        assert estimate == pytest.approx(simulated, rel=0.2)
+
+    def test_peri_rss_composition(self):
+        assert elmore_slew_peri(30e-12, 40e-12) == pytest.approx(50e-12)
+        assert elmore_slew_peri(0.0, 70e-12) == pytest.approx(70e-12)
+
+    def test_lognormal_slew_positive_and_scales(self):
+        s1 = lognormal_step_slew(100e-12, 2e-20)
+        assert s1 > 0
+        # Scaling time by 2 scales the metric by 2 (m1 ~ t, m2 ~ t^2).
+        s2 = lognormal_step_slew(200e-12, 8e-20)
+        assert s2 == pytest.approx(2 * s1, rel=1e-6)
+
+    def test_node_metrics_bundle(self):
+        tree = two_node_tree()
+        metrics = node_metrics(tree, "b", input_slew=50e-12)
+        assert set(metrics) == {"elmore", "d2m", "step_slew", "ramp_delay", "ramp_slew"}
+        assert metrics["ramp_slew"] >= metrics["step_slew"]

@@ -1,0 +1,98 @@
+"""Nearest-neighbor topology generation and the greedy matching."""
+
+import pytest
+
+from repro.core.options import CTSOptions
+from repro.core.topology import EdgeCost, SubTree, greedy_matching, select_seed
+from repro.geom.point import Point
+from repro.timing.analysis import SubtreeBounds
+from repro.tree.nodes import make_sink
+
+
+def sub(x, y, delay=0.0):
+    node = make_sink(Point(x, y), 5e-15)
+    return SubTree(node, SubtreeBounds(delay, delay, 0.0))
+
+
+@pytest.fixture()
+def cost():
+    return EdgeCost(CTSOptions(), delay_per_unit=0.02e-12)
+
+
+class TestEdgeCost:
+    def test_distance_term(self, cost):
+        assert cost(sub(0, 0), sub(100, 0)) == pytest.approx(100.0)
+
+    def test_delay_term_converted_to_units(self, cost):
+        a, b = sub(0, 0, delay=0.0), sub(0, 0, delay=2e-12)
+        # 2 ps at 0.02 ps/unit == 100 units of equivalent cost.
+        assert cost(a, b) == pytest.approx(100.0)
+
+    def test_alpha_beta_weights(self):
+        options = CTSOptions(cost_alpha=2.0, cost_beta=0.0)
+        cost = EdgeCost(options, delay_per_unit=0.02e-12)
+        assert cost(sub(0, 0), sub(100, 0, delay=1e-9)) == pytest.approx(200.0)
+
+    def test_symmetry(self, cost):
+        a, b = sub(3, 7, 1e-12), sub(40, 2, 5e-12)
+        assert cost(a, b) == cost(b, a)
+
+
+class TestSeedSelection:
+    def test_max_latency_selected(self):
+        nodes = [sub(0, 0, 1e-12), sub(1, 1, 9e-12), sub(2, 2, 3e-12)]
+        assert select_seed(nodes) is nodes[1]
+
+
+class TestGreedyMatching:
+    def test_even_count_full_matching(self, cost):
+        nodes = [sub(0, 0), sub(10, 0), sub(0, 1000), sub(10, 1000)]
+        pairs, seed = greedy_matching(nodes, Point(5, 500), cost)
+        assert seed is None
+        assert len(pairs) == 2
+        matched = {id(s) for pair in pairs for s in pair}
+        assert len(matched) == 4
+
+    def test_odd_count_promotes_max_latency_seed(self, cost):
+        nodes = [sub(0, 0, 1e-12), sub(10, 0, 2e-12), sub(20, 0, 9e-12)]
+        pairs, seed = greedy_matching(nodes, Point(10, 0), cost)
+        assert seed is not None
+        assert seed.max_delay == 9e-12
+        assert len(pairs) == 1
+
+    def test_close_pairs_matched_together(self, cost):
+        """Two tight clusters: matching must not cross them."""
+        nodes = [sub(0, 0), sub(50, 0), sub(10000, 0), sub(10050, 0)]
+        pairs, __ = greedy_matching(nodes, Point(5000, 0), cost)
+        for a, b in pairs:
+            assert a.point.manhattan_to(b.point) < 100
+
+    def test_delay_difference_discourages_pairing(self):
+        """With a huge beta, matching pairs by delay, not distance."""
+        options = CTSOptions(cost_beta=1000.0)
+        cost = EdgeCost(options, delay_per_unit=0.02e-12)
+        nodes = [
+            sub(0, 0, 0.0),
+            sub(10, 0, 100e-12),
+            sub(5000, 0, 0.0),
+            sub(5010, 0, 100e-12),
+        ]
+        pairs, __ = greedy_matching(nodes, Point(2500, 0), cost)
+        for a, b in pairs:
+            assert a.max_delay == b.max_delay  # equal-delay pairs chosen
+
+    def test_farthest_from_centroid_anchors_first(self, cost):
+        outlier = sub(100000, 100000)
+        nodes = [sub(0, 0), sub(10, 0), sub(20, 0), outlier]
+        pairs, __ = greedy_matching(nodes, Point(10, 0), cost)
+        # The outlier is the first anchor, paired with its nearest neighbor.
+        assert any(outlier in pair for pair in pairs)
+
+    def test_single_node_rejected_gracefully(self, cost):
+        pairs, seed = greedy_matching([sub(0, 0)], Point(0, 0), cost)
+        assert pairs == []
+        assert seed is not None
+
+    def test_empty_raises(self, cost):
+        with pytest.raises(ValueError):
+            greedy_matching([], Point(0, 0), cost)

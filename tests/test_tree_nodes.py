@@ -1,0 +1,207 @@
+"""Clock tree nodes and the ClockTree container."""
+
+import pytest
+
+from repro.geom import Point
+from repro.tech import cts_buffer_library
+from repro.tree.clocktree import ClockTree, tree_edges
+from repro.tree.nodes import (
+    NodeKind,
+    make_buffer,
+    make_merge,
+    make_sink,
+    make_source,
+    make_steiner,
+)
+from repro.tree.validate import TreeInvariantError, validate_tree
+
+
+@pytest.fixture()
+def buf20():
+    return cts_buffer_library()["BUF20X"]
+
+
+def small_tree(buf20):
+    """source -> buffer -> merge -> (sinkA, buffer -> sinkB)"""
+    sink_a = make_sink(Point(0, 0), 5e-15, "sA")
+    sink_b = make_sink(Point(2000, 0), 6e-15, "sB")
+    buf_b = make_buffer(Point(1500, 0), buf20)
+    buf_b.attach(sink_b)
+    merge = make_merge(Point(1000, 0))
+    merge.attach(sink_a)
+    merge.attach(buf_b)
+    root_buf = make_buffer(Point(1000, 100), buf20)
+    root_buf.attach(merge)
+    return ClockTree.from_network(Point(1000, 120), root_buf)
+
+
+class TestNodeConstruction:
+    def test_kinds_enforce_payload(self, buf20):
+        from repro.tree.nodes import TreeNode
+
+        with pytest.raises(ValueError):
+            TreeNode(NodeKind.MERGE, Point(0, 0), buffer=buf20)  # no buffer here
+        with pytest.raises(ValueError):
+            TreeNode(NodeKind.BUFFER, Point(0, 0))  # buffer type required
+        with pytest.raises(ValueError):
+            TreeNode(NodeKind.MERGE, Point(0, 0), cap=1e-15)  # no sink cap here
+
+    def test_auto_names_unique(self):
+        a = make_merge(Point(0, 0))
+        b = make_merge(Point(0, 0))
+        assert a.name != b.name
+
+    def test_attach_default_wire_is_manhattan(self, buf20):
+        parent = make_merge(Point(0, 0))
+        child = make_sink(Point(30, 40), 1e-15)
+        parent.attach(child)
+        assert child.wire_to_parent == 70
+
+    def test_attach_rejects_short_wire(self):
+        parent = make_merge(Point(0, 0))
+        child = make_sink(Point(30, 40), 1e-15)
+        with pytest.raises(ValueError):
+            parent.attach(child, wire_length=10.0)
+
+    def test_attach_allows_snaked_wire(self):
+        parent = make_merge(Point(0, 0))
+        child = make_sink(Point(30, 40), 1e-15)
+        parent.attach(child, wire_length=500.0)
+        assert child.wire_to_parent == 500.0
+
+    def test_double_attach_rejected(self):
+        parent = make_merge(Point(0, 0))
+        child = make_sink(Point(1, 1), 1e-15)
+        parent.attach(child)
+        with pytest.raises(ValueError):
+            make_merge(Point(5, 5)).attach(child)
+
+    def test_detach_and_reattach(self):
+        parent = make_merge(Point(0, 0))
+        child = make_sink(Point(1, 1), 1e-15)
+        parent.attach(child)
+        child.detach()
+        assert child.parent is None
+        assert child not in parent.children
+        make_merge(Point(2, 2)).attach(child)
+
+
+class TestTraversal:
+    def test_walk_parents_first(self, buf20):
+        tree = small_tree(buf20)
+        seen = set()
+        for node in tree.root.walk():
+            if node.parent is not None:
+                assert node.parent.id in seen
+            seen.add(node.id)
+
+    def test_sinks_and_buffers(self, buf20):
+        tree = small_tree(buf20)
+        assert {s.name for s in tree.sinks()} == {"sA", "sB"}
+        assert len(tree.buffers()) == 2
+
+    def test_downstream_wirelength(self, buf20):
+        tree = small_tree(buf20)
+        merge = tree.node_by_name("sA").parent
+        assert merge.downstream_wirelength() == pytest.approx(
+            1000 + 500 + 500
+        )
+
+    def test_unbuffered_cap_stops_at_buffers(self, buf20, tech):
+        tree = small_tree(buf20)
+        merge = tree.node_by_name("sA").parent
+        cap = merge.unbuffered_cap(tech.wire.capacitance_per_unit)
+        expected = (
+            tech.wire.capacitance_per_unit * (1000 + 500)  # to sA and to buf
+            + 5e-15  # sink A
+        )
+        assert cap == pytest.approx(expected)
+
+    def test_root_helper(self, buf20):
+        tree = small_tree(buf20)
+        assert tree.node_by_name("sB").root() is tree.root
+
+
+class TestClockTree:
+    def test_requires_source_root(self, buf20):
+        with pytest.raises(ValueError):
+            ClockTree(make_merge(Point(0, 0)))
+
+    def test_stats(self, buf20):
+        tree = small_tree(buf20)
+        stats = tree.stats()
+        assert stats["n_sinks"] == 2
+        assert stats["n_buffers"] == 2
+        assert stats["buffers"] == {"BUF20X": 2}
+        assert stats["depth"] >= 3
+
+    def test_total_wirelength(self, buf20):
+        tree = small_tree(buf20)
+        assert tree.total_wirelength() == pytest.approx(1000 + 500 + 500 + 100 + 20)
+
+    def test_node_by_name_missing(self, buf20):
+        with pytest.raises(KeyError):
+            small_tree(buf20).node_by_name("nope")
+
+    def test_tree_edges(self, buf20):
+        tree = small_tree(buf20)
+        edges = tree_edges(tree.root)
+        assert len(edges) == len(tree.nodes()) - 1
+        for edge in edges:
+            assert edge.child.parent is edge.parent
+
+
+class TestValidate:
+    def test_valid_tree_passes(self, buf20):
+        validate_tree(small_tree(buf20).root, expect_source_root=True)
+
+    def test_merge_with_one_child_fails(self):
+        merge = make_merge(Point(0, 0))
+        merge.attach(make_sink(Point(1, 1), 1e-15))
+        with pytest.raises(TreeInvariantError):
+            validate_tree(merge)
+
+    def test_buffer_with_two_children_fails(self, buf20):
+        buf = make_buffer(Point(0, 0), buf20)
+        buf.attach(make_sink(Point(1, 0), 1e-15))
+        child2 = make_sink(Point(0, 1), 1e-15)
+        child2.parent = buf
+        buf.children.append(child2)
+        with pytest.raises(TreeInvariantError):
+            validate_tree(buf)
+
+    def test_sink_with_zero_cap_fails(self):
+        merge = make_merge(Point(0, 0))
+        bad = make_sink(Point(1, 1), 1e-15)
+        bad.cap = 0.0
+        merge.attach(bad)
+        merge.attach(make_sink(Point(2, 2), 1e-15))
+        with pytest.raises(TreeInvariantError):
+            validate_tree(merge)
+
+    def test_inconsistent_parent_link_fails(self):
+        a = make_merge(Point(0, 0))
+        s1 = make_sink(Point(1, 1), 1e-15)
+        s2 = make_sink(Point(2, 2), 1e-15)
+        a.attach(s1)
+        a.attach(s2)
+        s1.parent = s2  # corrupt
+        with pytest.raises(TreeInvariantError):
+            validate_tree(a)
+
+    def test_short_wire_fails(self):
+        a = make_merge(Point(0, 0))
+        s1 = make_sink(Point(100, 0), 1e-15)
+        s2 = make_sink(Point(0, 100), 1e-15)
+        a.attach(s1)
+        a.attach(s2)
+        s1.wire_to_parent = 10.0  # corrupt: shorter than distance
+        with pytest.raises(TreeInvariantError):
+            validate_tree(a)
+
+    def test_steiner_pass_through_allowed(self, buf20):
+        root = make_buffer(Point(0, 0), buf20)
+        bend = make_steiner(Point(100, 0))
+        root.attach(bend)
+        bend.attach(make_sink(Point(100, 100), 1e-15))
+        validate_tree(root)

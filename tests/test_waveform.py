@@ -1,0 +1,132 @@
+"""Waveform measurements: crossings, slews, generators, windows."""
+
+import numpy as np
+import pytest
+
+from repro.timing.waveform import (
+    Waveform,
+    measure_slew,
+    ramp_waveform,
+    smooth_curve_waveform,
+)
+
+
+class TestConstruction:
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_rejects_non_monotone_times(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+
+class TestCrossings:
+    def linear(self):
+        return Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_interpolated_crossing(self):
+        assert self.linear().cross_time(0.25) == pytest.approx(0.25)
+
+    def test_first_crossing_of_nonmonotone(self):
+        wave = Waveform(
+            np.array([0.0, 1.0, 2.0, 3.0]), np.array([0.0, 1.0, 0.0, 1.0])
+        )
+        assert wave.cross_time(0.5) == pytest.approx(0.5)
+
+    def test_falling_crossing(self):
+        wave = Waveform(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert wave.cross_time(0.5, rising=False) == pytest.approx(0.5)
+
+    def test_never_crosses_raises(self):
+        with pytest.raises(ValueError):
+            self.linear().cross_time(2.0)
+
+    def test_already_above_returns_start(self):
+        wave = Waveform(np.array([1.0, 2.0]), np.array([0.8, 1.0]))
+        assert wave.cross_time(0.5) == pytest.approx(1.0)
+
+    def test_value_at_clamps(self):
+        wave = self.linear()
+        assert wave.value_at(-1.0) == 0.0
+        assert wave.value_at(2.0) == 1.0
+
+
+class TestSlewAndDelay:
+    def test_linear_ramp_slew(self):
+        wave = Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert wave.slew(vdd=1.0) == pytest.approx(0.8)
+
+    def test_delay_between_waveforms(self):
+        a = Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        b = a.shifted(0.3)
+        assert a.delay_to(b, vdd=1.0) == pytest.approx(0.3)
+
+    def test_measure_slew_helper(self):
+        wave = ramp_waveform(1.0, 100e-12)
+        assert measure_slew(wave, 1.0) == pytest.approx(100e-12, rel=1e-6)
+
+
+class TestGenerators:
+    def test_ramp_has_requested_slew(self):
+        for slew in (20e-12, 80e-12, 200e-12):
+            wave = ramp_waveform(1.0, slew, t_start=50e-12)
+            assert wave.slew(1.0) == pytest.approx(slew, rel=1e-6)
+
+    def test_ramp_settles_at_vdd(self):
+        wave = ramp_waveform(0.9, 100e-12)
+        assert wave.v_final == pytest.approx(0.9)
+
+    def test_curve_has_requested_slew(self):
+        wave = smooth_curve_waveform(1.0, 150e-12)
+        assert wave.slew(1.0) == pytest.approx(150e-12, rel=0.02)
+
+    def test_curve_and_ramp_have_same_slew_but_different_shape(self):
+        """The premise of the paper's Fig. 3.2 experiment."""
+        slew = 150e-12
+        ramp = ramp_waveform(1.0, slew, t_start=0.0)
+        curve = smooth_curve_waveform(1.0, slew, t_start=0.0)
+        assert ramp.slew(1.0) == pytest.approx(curve.slew(1.0), rel=0.02)
+        # Compare shapes around the 50% crossing: the 5%-10% approach of a
+        # logistic is much slower than a saturated ramp's.
+        r5 = ramp.cross_time(0.10) - ramp.cross_time(0.05)
+        c5 = curve.cross_time(0.10) - curve.cross_time(0.05)
+        assert c5 > 2.0 * r5
+
+    def test_invalid_slew_rejected(self):
+        with pytest.raises(ValueError):
+            ramp_waveform(1.0, -1e-12)
+        with pytest.raises(ValueError):
+            smooth_curve_waveform(1.0, 0.0)
+
+
+class TestTransforms:
+    def test_shifted(self):
+        wave = ramp_waveform(1.0, 100e-12, t_start=0.0)
+        moved = wave.shifted(1e-9)
+        assert moved.cross_time(0.5) == pytest.approx(
+            wave.cross_time(0.5) + 1e-9
+        )
+
+    def test_resampled_preserves_values(self):
+        wave = ramp_waveform(1.0, 100e-12)
+        dense = wave.resampled(np.linspace(wave.times[0], wave.times[-1], 500))
+        assert dense.value_at(wave.times[10]) == pytest.approx(
+            wave.values[10], abs=1e-6
+        )
+
+    def test_windowed(self):
+        wave = ramp_waveform(1.0, 100e-12, t_start=100e-12)
+        sub = wave.windowed(50e-12, 400e-12)
+        assert sub.times[0] == pytest.approx(50e-12)
+        assert sub.times[-1] == pytest.approx(400e-12)
+        assert sub.slew(1.0) == pytest.approx(wave.slew(1.0), rel=1e-3)
+
+    def test_windowed_empty_raises(self):
+        wave = ramp_waveform(1.0, 100e-12)
+        with pytest.raises(ValueError):
+            wave.windowed(1e-9, 1e-9)
