@@ -12,6 +12,7 @@ import itertools
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.polynomial import polynomial as npoly
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,12 @@ class FitQuality:
             "max_error": self.max_error,
             "r_squared": self.r_squared,
         }
+
+
+#: When False, new fits keep the interpreted ``predict`` instead of the
+#: compiled evaluator — the perf harness uses this to time the seed
+#: baseline faithfully. Results are bit-identical either way.
+COMPILE_SCALAR = True
 
 
 def _multi_indices(n_vars: int, degree: int) -> list[tuple[int, ...]]:
@@ -69,7 +76,7 @@ class PolynomialFit:
         # Scalar fast path: plain-float structures, precomputed once.
         self._lo_list = [float(v) for v in self.lo]
         self._inv_span = [
-            2.0 / (hi_v - lo_v) if hi_v > lo_v else 0.0
+            float(2.0 / (hi_v - lo_v)) if hi_v > lo_v else 0.0
             for lo_v, hi_v in zip(self.lo, self.hi)
         ]
         self._hi_list = [float(v) for v in self.hi]
@@ -80,6 +87,12 @@ class PolynomialFit:
             (float(c), [(v, p) for v, p in enumerate(exps) if p > 0])
             for c, exps in zip(self.coeffs, self.exponents)
         ]
+        self._partial_cache: dict[float, object] = {}
+        # The scalar entry point is megacalled by synthesis; shadow the
+        # interpreted method with a straight-line compiled evaluator that
+        # performs the exact same float operations in the same order.
+        if COMPILE_SCALAR:
+            self.predict = self._compile_scalar()
 
     # ------------------------------------------------------------------
 
@@ -103,18 +116,55 @@ class PolynomialFit:
             for p in range(1, max_exp + 1):
                 powers[v][:, p] = powers[v][:, p - 1] * xn[:, v]
         for t, exps in enumerate(self.exponents):
-            col = np.ones(n_pts)
+            col = None
             for v, p in enumerate(exps):
                 if p:
-                    col = col * powers[v][:, p]
-            cols[:, t] = col
+                    # First factor is 1 * powers == powers, so the explicit
+                    # ones column is skipped without changing any product.
+                    col = powers[v][:, p] if col is None else col * powers[v][:, p]
+            cols[:, t] = 1.0 if col is None else col
         return cols
+
+    def _compile_scalar(self):
+        """Generate the specialized scalar evaluator for this fit.
+
+        Emits one flat function with the ranges and coefficients inlined
+        as literals (``repr`` round-trips floats exactly) and the same
+        operation order as :meth:`predict`, so results are bit-identical
+        while skipping all list indexing and loop interpretation.
+        """
+        n = self.n_vars
+        lines = [
+            "def _predict(*args):",
+            f"    if len(args) != {n}:",
+            f"        raise ValueError(f'expected {n} arguments, got {{len(args)}}')",
+        ]
+        for v in range(n):
+            lo, hi = repr(self._lo_list[v]), repr(self._hi_list[v])
+            inv = repr(self._inv_span[v])
+            lines.append(f"    v{v} = args[{v}]")
+            lines.append(f"    v{v} = {lo} if v{v} < {lo} else {hi} if v{v} > {hi} else v{v}")
+            lines.append(f"    x{v} = (v{v} - {lo}) * {inv} - 1.0")
+            for p in range(2, self._max_exp[v] + 1):
+                prev = f"x{v}" if p == 2 else f"x{v}_{p - 1}"
+                lines.append(f"    x{v}_{p} = {prev} * x{v}")
+        lines.append("    total = 0.0")
+        for coeff, factors in self._terms:
+            expr = repr(coeff)
+            for v, p in factors:
+                expr += f" * x{v}" if p == 1 else f" * x{v}_{p}"
+            lines.append(f"    total += {expr}")
+        lines.append("    return total")
+        namespace: dict = {}
+        exec("\n".join(lines), {}, namespace)
+        return namespace["_predict"]
 
     def predict(self, *args: float) -> float:
         """Evaluate at one point given as scalars (clamped to range).
 
-        This is the synthesis inner-loop entry point, so it avoids numpy
-        overhead entirely: normalized powers are built with plain floats.
+        Interpreted reference for the compiled evaluator installed by
+        ``_compile_scalar`` (which shadows this method per instance);
+        normalized powers are built with plain floats.
         """
         if len(args) != self.n_vars:
             raise ValueError(f"expected {self.n_vars} arguments, got {len(args)}")
@@ -134,6 +184,35 @@ class PolynomialFit:
                 term *= powers[v][p]
             total += term
         return total
+
+    def partial_curve(self, x0: float):
+        """Vectorized evaluator over the second variable with the first fixed.
+
+        For a 2-variable fit queried at one fixed first input (the routing
+        tables: one input slew, many lengths), the normalized powers of
+        ``x0`` fold into the coefficients once, leaving a clip plus a
+        Horner evaluation per call. Values agree with ``predict_many`` up
+        to floating-point rounding (the summation order differs).
+        """
+        if self.n_vars != 2:
+            raise ValueError("partial_curve requires a 2-variable fit")
+        curve = self._partial_cache.get(x0)
+        if curve is None:
+            lo0, hi0 = self._lo_list[0], self._hi_list[0]
+            v0 = lo0 if x0 < lo0 else hi0 if x0 > hi0 else x0
+            xn0 = (v0 - lo0) * self._inv_span[0] - 1.0
+            contracted = np.zeros(self._max_exp[1] + 1)
+            for (e0, e1), c in zip(self.exponents, self.coeffs):
+                contracted[e1] += float(c) * xn0**e0
+            lo1, hi1 = self._lo_list[1], self._hi_list[1]
+            inv1 = self._inv_span[1]
+
+            def curve(values: np.ndarray) -> np.ndarray:
+                xn = (np.clip(values, lo1, hi1) - lo1) * inv1 - 1.0
+                return npoly.polyval(xn, contracted)
+
+            self._partial_cache[x0] = curve
+        return curve
 
     def predict_many(self, x: np.ndarray) -> np.ndarray:
         """Evaluate at points given as an (n_pts, n_vars) array."""

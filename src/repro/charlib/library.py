@@ -123,9 +123,14 @@ class DelaySlewLibrary:
         a sink can be approximated by a component ending with a buffer of
         similar load capacitance" (Sec. 3.2.1).
         """
-        return min(
-            self.buffers, key=lambda n: abs(self.buffers[n].input_cap - cap)
-        )
+        best = None
+        best_diff = float("inf")
+        for name, meta in self.buffers.items():
+            diff = abs(meta.input_cap - cap)
+            if diff < best_diff:
+                best_diff = diff
+                best = name
+        return best
 
     def single_wire(
         self, drive: str, load: str, input_slew: float, length: float
@@ -146,6 +151,51 @@ class DelaySlewLibrary:
             drive, self.load_name_for_cap(load_cap), input_slew, length
         )
 
+    def single_wire_delay_slew(
+        self,
+        drive: str,
+        load: str,
+        input_slew: float,
+        length: float,
+        include_buffer_delay: bool,
+    ) -> tuple[float, float]:
+        """(stage delay, wire slew) of a single-wire component.
+
+        Matches ``single_wire(...)``'s ``wire_delay + buffer_delay`` /
+        ``wire_slew`` combination while skipping whichever fits the caller
+        discards — the stage-timing inner loop never reads all three.
+        """
+        fits = self.single[(drive, load)]
+        delay = max(0.0, fits["wire_delay"].predict(input_slew, length))
+        if include_buffer_delay:
+            delay = delay + max(0.0, fits["buffer_delay"].predict(input_slew, length))
+        return delay, max(1e-15, fits["wire_slew"].predict(input_slew, length))
+
+    def single_wire_total_delay(
+        self, drive: str, load: str, input_slew: float, length: float
+    ) -> float:
+        """Just the total (buffer + wire) delay of a single-wire component.
+
+        Identical to ``single_wire(...).total_delay`` with one fewer fit
+        evaluation (the slew is not computed).
+        """
+        fits = self.single[(drive, load)]
+        return max(0.0, fits["buffer_delay"].predict(input_slew, length)) + max(
+            0.0, fits["wire_delay"].predict(input_slew, length)
+        )
+
+    def single_wire_slew(
+        self, drive: str, load: str, input_slew: float, length: float
+    ) -> float:
+        """Just the wire slew of a single-wire component.
+
+        Identical to ``single_wire(...).wire_slew`` but evaluates one fit
+        instead of three — the inner loops of corrective buffer insertion
+        and slew-window clamping only need the slew.
+        """
+        fit = self.single[(drive, load)]["wire_slew"]
+        return max(1e-15, fit.predict(input_slew, length))
+
     def branch_component(
         self,
         drive: str,
@@ -165,6 +215,28 @@ class DelaySlewLibrary:
             right_delay=max(0.0, fits["right_delay"].predict(*args)),
             left_slew=max(1e-15, fits["left_slew"].predict(*args)),
             right_slew=max(1e-15, fits["right_slew"].predict(*args)),
+        )
+
+    def branch_slews(
+        self,
+        drive: str,
+        input_slew: float,
+        stem_length: float,
+        left_length: float,
+        right_length: float,
+        left_cap: float,
+        right_cap: float,
+    ) -> tuple[float, float]:
+        """Just the (left, right) slews of a branch component.
+
+        Identical to the slews of :meth:`branch_component` but evaluates
+        two fits instead of five.
+        """
+        fits = self.branch[drive]
+        args = (input_slew, stem_length, left_length, right_length, left_cap, right_cap)
+        return (
+            max(1e-15, fits["left_slew"].predict(*args)),
+            max(1e-15, fits["right_slew"].predict(*args)),
         )
 
     def max_single_length(self, drive: str, load: str) -> float:

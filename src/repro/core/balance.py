@@ -33,8 +33,7 @@ class SnakeResult:
 def _stage_delay(
     library: DelaySlewLibrary, drive: str, load: str, input_slew: float, length: float
 ) -> float:
-    timing = library.single_wire(drive, load, input_slew, length)
-    return timing.total_delay
+    return library.single_wire_total_delay(drive, load, input_slew, length)
 
 
 def _max_length_within_slew(
@@ -49,7 +48,7 @@ def _max_length_within_slew(
     fit_hi = library.max_single_length(drive, load)
     length = 0.0
     while length + step <= fit_hi:
-        slew = library.single_wire(drive, load, input_slew, length + step).wire_slew
+        slew = library.single_wire_slew(drive, load, input_slew, length + step)
         if slew > target_slew:
             break
         length += step

@@ -52,21 +52,25 @@ def evaluate_split(
     v2: TreeNode,
     left_length: float,
     right_length: float,
+    caps: tuple[float, float] | None = None,
 ) -> tuple[SubtreeBounds, SubtreeBounds, object]:
     """Per-side delay bounds of the would-be merge, via the branch fits.
 
     Returns (left bounds, right bounds, branch timing); the bounds are
     measured from the merge point M (virtual driver at M, its intrinsic
-    delay excluded, consistent with sub-tree delay bookkeeping).
+    delay excluded, consistent with sub-tree delay bookkeeping). ``caps``
+    lets bisection callers pass the two (loop-invariant) side load caps.
     """
+    if caps is None:
+        caps = (_load_cap(engine, v1), _load_cap(engine, v2))
     timing = engine.library.branch_component(
         drive,
         input_slew,
         0.0,
         left_length,
         right_length,
-        _load_cap(engine, v1),
-        _load_cap(engine, v2),
+        caps[0],
+        caps[1],
     )
     below1 = _side_bounds(engine, v1, timing.left_slew)
     below2 = _side_bounds(engine, v2, timing.right_slew)
@@ -108,10 +112,25 @@ def binary_search_merge(
     residual skew; corrective insertion handles the rare infeasible spans).
     """
     total = span.length
+    cap1, cap2 = _load_cap(engine, v1), _load_cap(engine, v2)
 
     def split_at(r: float):
         return evaluate_split(
-            engine, drive, input_slew, v1, v2, r * total, (1.0 - r) * total
+            engine,
+            drive,
+            input_slew,
+            v1,
+            v2,
+            r * total,
+            (1.0 - r) * total,
+            caps=(cap1, cap2),
+        )
+
+    def slews_at(r: float) -> tuple[float, float]:
+        # Slew-window clamping needs only the two branch slews; skip the
+        # three delay fits and the per-side subtree bounds entirely.
+        return engine.library.branch_slews(
+            drive, input_slew, 0.0, r * total, (1.0 - r) * total, cap1, cap2
         )
 
     def diff_at(r: float) -> float:
@@ -143,7 +162,7 @@ def binary_search_merge(
                 else:
                     hi = r
         if slew_target is not None:
-            r, extra = _clamp_to_slew_window(split_at, r, slew_target)
+            r, extra = _clamp_to_slew_window(slews_at, r, slew_target)
             iterations += extra
             d = diff_at(r)
     return MergePosition(
@@ -156,7 +175,7 @@ def binary_search_merge(
     )
 
 
-def _clamp_to_slew_window(split_at, r: float, target: float) -> tuple[float, int]:
+def _clamp_to_slew_window(slews_at, r: float, target: float) -> tuple[float, int]:
     """Clamp ``r`` into the slew-feasible window by bisection.
 
     Left-branch slew grows with r (longer left wire), right-branch slew
@@ -164,18 +183,18 @@ def _clamp_to_slew_window(split_at, r: float, target: float) -> tuple[float, int
     balanced ratio is clamped into it (or the window midpoint is used when
     the interval is empty — both sides then need corrective buffers).
     """
-    __, __, timing = split_at(r)
+    left_slew, right_slew = slews_at(r)
     iters = 1
-    if timing.left_slew <= target and timing.right_slew <= target:
+    if left_slew <= target and right_slew <= target:
         return r, iters
-    if timing.left_slew > target:
+    if left_slew > target:
         # Find r_max: largest r with left slew within target.
         lo, hi = 0.0, r
         for _ in range(16):
             mid = (lo + hi) / 2.0
-            __, __, t = split_at(mid)
+            ls, __ = slews_at(mid)
             iters += 1
-            if t.left_slew <= target:
+            if ls <= target:
                 lo = mid
             else:
                 hi = mid
@@ -184,9 +203,9 @@ def _clamp_to_slew_window(split_at, r: float, target: float) -> tuple[float, int
     lo, hi = r, 1.0
     for _ in range(16):
         mid = (lo + hi) / 2.0
-        __, __, t = split_at(mid)
+        __, rs = slews_at(mid)
         iters += 1
-        if t.right_slew <= target:
+        if rs <= target:
             hi = mid
         else:
             lo = mid

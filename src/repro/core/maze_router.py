@@ -11,6 +11,16 @@ logic as the profile router.
 With no blockages this reduces exactly to the profile router (delay is a
 function of step distance only); with blockages the BFS distances and the
 backtracked detour paths differ, which is the case this router exists for.
+
+The grid operations are vectorized: ``block`` is a coordinate-mask
+computation and ``bfs`` runs at C speed — through a directly-assembled
+CSR adjacency and :func:`scipy.sparse.csgraph.dijkstra` (unweighted =
+plain BFS) when scipy is available, and otherwise through a numpy
+frontier-dilation wave (one windowed boolean step per BFS level, parents
+reconstructed from per-direction step offsets). The original cell-by-cell
+implementations are retained as ``block_reference`` / ``bfs_reference`` —
+they define the semantics, the equivalence tests compare against them,
+and the perf harness times them as the seed baseline.
 """
 
 from __future__ import annotations
@@ -19,13 +29,22 @@ from collections import deque
 
 import numpy as np
 
+try:  # scipy ships with the toolchain; the wave BFS covers its absence.
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sparse_bfs
+except ImportError:  # pragma: no cover - exercised only without scipy
+    csr_matrix = None
+    _sparse_bfs = None
+
 from repro.charlib.library import DelaySlewLibrary
 from repro.core.options import CTSOptions
 from repro.core.routing_common import (
+    MazeSearch,
     RoutedPath,
     RouteResult,
     RouteTerminal,
     choose_pitch,
+    run_maze_search,
 )
 from repro.core.segment_builder import PathBuilder, SegmentTables
 from repro.geom.bbox import BBox
@@ -33,6 +52,10 @@ from repro.geom.point import Point
 from repro.geom.segment import PathPolyline
 
 _UNREACHED = -1
+
+#: 4-connected neighborhood; the order is the parent priority when a cell
+#: is reached by several frontier cells in the same wave.
+_DIRECTIONS = ((1, 0), (-1, 0), (0, 1), (0, -1))
 
 
 class MazeGrid:
@@ -44,13 +67,31 @@ class MazeGrid:
         self.nx = int(np.ceil(bbox.width / pitch)) + 1
         self.ny = int(np.ceil(bbox.height / pitch)) + 1
         self.blocked = np.zeros((self.nx, self.ny), dtype=bool)
+        self._adj = None  # cached CSR adjacency; invalidated by block()
+        self._xs = None  # cached cell-center coordinate axes
+        self._ys = None
+        self._any_blocked = False
 
     def block(self, region: BBox) -> None:
         """Block every cell whose center lies inside ``region``."""
+        if self._xs is None:
+            self._xs = self.bbox.xmin + np.arange(self.nx) * self.pitch
+            self._ys = self.bbox.ymin + np.arange(self.ny) * self.pitch
+        in_x = (self._xs >= region.xmin) & (self._xs <= region.xmax)
+        in_y = (self._ys >= region.ymin) & (self._ys <= region.ymax)
+        if in_x.any() and in_y.any():
+            self.blocked |= in_x[:, None] & in_y[None, :]
+            self._any_blocked = True
+        self._adj = None
+
+    def block_reference(self, region: BBox) -> None:
+        """Cell-by-cell reference implementation of :meth:`block`."""
         for i in range(self.nx):
             for j in range(self.ny):
                 if region.contains(self.center(i, j)):
                     self.blocked[i, j] = True
+                    self._any_blocked = True
+        self._adj = None
 
     def center(self, i: int, j: int) -> Point:
         return Point(self.bbox.xmin + i * self.pitch, self.bbox.ymin + j * self.pitch)
@@ -60,8 +101,177 @@ class MazeGrid:
         j = int(round((p.y - self.bbox.ymin) / self.pitch))
         return (min(max(i, 0), self.nx - 1), min(max(j, 0), self.ny - 1))
 
+    def nearest_free(self, cell: tuple[int, int]) -> tuple[int, int]:
+        """Closest unblocked cell to ``cell`` (Manhattan; ties row-major)."""
+        if not self.blocked[cell]:
+            return cell
+        ii, jj = np.nonzero(~self.blocked)
+        if ii.size == 0:
+            raise ValueError("grid is fully blocked")
+        k = int(np.argmin(np.abs(ii - cell[0]) + np.abs(jj - cell[1])))
+        return (int(ii[k]), int(jj[k]))
+
     def bfs(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
-        """Step distances and parent indices from ``start`` (4-connected)."""
+        """Step distances and parent indices from ``start`` (4-connected).
+
+        Dispatches to the sparse-graph BFS when scipy is available and to
+        the numpy frontier-dilation wave otherwise. Both return the same
+        distance field as :meth:`bfs_reference`; parent *choices* may
+        differ between implementations (any parent one step closer to the
+        start is valid), so backtracked paths are equal-length shortest
+        paths, not necessarily identical cell sequences.
+        """
+        if not self._any_blocked:
+            return self.bfs_unblocked(start)
+        if _sparse_bfs is not None:
+            return self.bfs_sparse(start)
+        return self.bfs_wave(start)
+
+    def bfs_many(
+        self, starts: list[tuple[int, int]]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """BFS from several starts; batched when the sparse path is up."""
+        if not self._any_blocked:
+            return [self.bfs_unblocked(s) for s in starts]
+        if _sparse_bfs is not None:
+            return self.bfs_multi(starts)
+        return [self.bfs(s) for s in starts]
+
+    def bfs_unblocked(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """Closed-form BFS for a grid with no blocked cells.
+
+        Distances are plain Manhattan step counts (exactly what any BFS
+        returns on an obstacle-free grid); parents encode an x-then-y
+        staircase toward the start, a valid shortest-path tree.
+        """
+        i0, j0 = start
+        di = np.arange(self.nx) - i0
+        dj = np.arange(self.ny) - j0
+        dist = np.abs(di)[:, None] + np.abs(dj)[None, :]
+        codes = np.arange(self.nx * self.ny).reshape(self.nx, self.ny)
+        step_i = np.sign(di) * self.ny  # one step along x toward the start
+        parent = np.where(
+            di[:, None] != 0,
+            codes - step_i[:, None],
+            codes - np.sign(dj)[None, :],
+        )
+        parent[start] = -1
+        return dist, parent
+
+    def _adjacency(self):
+        """CSR adjacency of the free cells, assembled without a COO sort.
+
+        For each cell the (up to 4) free neighbors are emitted in
+        column-ascending order (-ny, -1, +1, +ny), so the data/indices/
+        indptr triple is already canonical CSR.
+        """
+        if self._adj is not None:
+            return self._adj
+        nx, ny, n = self.nx, self.ny, self.nx * self.ny
+        free = ~self.blocked
+        codes = np.arange(n, dtype=np.int32).reshape(nx, ny)
+        m = np.zeros((nx, ny, 4), dtype=bool)
+        m[1:, :, 0] = free[1:, :] & free[:-1, :]  # neighbor (i-1, j)
+        m[:, 1:, 1] = free[:, 1:] & free[:, :-1]  # neighbor (i, j-1)
+        m[:, :-1, 2] = free[:, :-1] & free[:, 1:]  # neighbor (i, j+1)
+        m[:-1, :, 3] = free[:-1, :] & free[1:, :]  # neighbor (i+1, j)
+        offsets = np.array([-ny, -1, 1, ny], dtype=np.int32)
+        cols4 = codes[:, :, None] + offsets[None, None, :]
+        mflat = m.reshape(n, 4)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(mflat.sum(axis=1, dtype=np.int32), out=indptr[1:])
+        cols = cols4.reshape(n, 4)[mflat]
+        data = np.ones(cols.size, dtype=np.int8)
+        self._adj = csr_matrix((data, cols, indptr), shape=(n, n))
+        return self._adj
+
+    def bfs_sparse(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """BFS via :func:`scipy.sparse.csgraph.dijkstra` (unweighted)."""
+        return self.bfs_multi([start])[0]
+
+    def bfs_multi(
+        self, starts: list[tuple[int, int]]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One sparse BFS per start, batched into a single csgraph call
+        (amortizes the scipy validation/setup overhead, which dominates on
+        the small grids of low-level merges)."""
+        for start in starts:
+            if self.blocked[start]:
+                raise ValueError(f"start cell {start} is blocked")
+        flat = [i * self.ny + j for i, j in starts]
+        hops, pred = _sparse_bfs(
+            self._adjacency(),
+            indices=flat,
+            unweighted=True,
+            return_predecessors=True,
+        )
+        hops = np.atleast_2d(hops)
+        pred = np.atleast_2d(pred)
+        # One fused conversion for all sources; scipy marks "no
+        # predecessor" with a different negative sentinel, and
+        # backtrack() only tests sign, so pred is reshaped as-is.
+        dists = np.where(np.isinf(hops), float(_UNREACHED), hops).astype(int)
+        return [
+            (
+                dists[row].reshape(self.nx, self.ny),
+                pred[row].reshape(self.nx, self.ny),
+            )
+            for row in range(len(starts))
+        ]
+
+    def bfs_wave(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """Numpy frontier-dilation BFS (the scipy-free vectorized path).
+
+        Each wave shifts the current frontier mask one cell in every
+        direction and claims the still-unreached free cells; parents are
+        the encoded coordinates one step back along the claiming
+        direction. The work per wave is confined to the bounding window
+        of the frontier, so compact waves stay cheap on big grids.
+        """
+        if self.blocked[start]:
+            raise ValueError(f"start cell {start} is blocked")
+        nx, ny = self.nx, self.ny
+        dist = np.full((nx, ny), _UNREACHED, dtype=int)
+        parent = np.full((nx, ny), -1, dtype=int)
+        codes = np.arange(nx * ny, dtype=int).reshape(nx, ny)
+        unreached = ~self.blocked
+        frontier = np.zeros((nx, ny), dtype=bool)
+        frontier[start] = True
+        unreached[start] = False
+        dist[start] = 0
+        ilo, ihi = start[0], start[0] + 1
+        jlo, jhi = start[1], start[1] + 1
+        d = 0
+        while True:
+            # Every neighbor of the frontier lies inside the window grown
+            # by one cell (clipped to the grid).
+            ilo, ihi = max(ilo - 1, 0), min(ihi + 1, nx)
+            jlo, jhi = max(jlo - 1, 0), min(jhi + 1, ny)
+            fwin = frontier[ilo:ihi, jlo:jhi]
+            uwin = unreached[ilo:ihi, jlo:jhi]
+            new = np.zeros_like(fwin)
+            for di, dj in _DIRECTIONS:
+                cand = _shift(fwin, di, dj)
+                cand &= uwin
+                cand &= ~new
+                if cand.any():
+                    pwin = parent[ilo:ihi, jlo:jhi]
+                    pwin[cand] = codes[ilo:ihi, jlo:jhi][cand] - di * ny - dj
+                    new |= cand
+            if not new.any():
+                return dist, parent
+            d += 1
+            dist[ilo:ihi, jlo:jhi][new] = d
+            uwin &= ~new
+            frontier[ilo:ihi, jlo:jhi] = new
+            # Shrink the window to the new frontier's bounding box.
+            rows = np.flatnonzero(new.any(axis=1))
+            cols = np.flatnonzero(new.any(axis=0))
+            ilo, ihi = ilo + rows[0], ilo + rows[-1] + 1
+            jlo, jhi = jlo + cols[0], jlo + cols[-1] + 1
+
+    def bfs_reference(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """Queue-based reference implementation of :meth:`bfs`."""
         dist = np.full((self.nx, self.ny), _UNREACHED, dtype=int)
         parent = np.full((self.nx, self.ny), -1, dtype=int)
         if self.blocked[start]:
@@ -71,7 +281,7 @@ class MazeGrid:
         while queue:
             i, j = queue.popleft()
             d = dist[i, j]
-            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            for di, dj in _DIRECTIONS:
                 ni, nj = i + di, j + dj
                 if 0 <= ni < self.nx and 0 <= nj < self.ny:
                     if not self.blocked[ni, nj] and dist[ni, nj] == _UNREACHED:
@@ -79,6 +289,23 @@ class MazeGrid:
                         parent[ni, nj] = i * self.ny + j
                         queue.append((ni, nj))
         return dist, parent
+
+    def staircase_arrays(
+        self, start: tuple[int, int], cell: tuple[int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cell coordinates of the unblocked shortest path, as arrays.
+
+        Produces exactly the sequence ``backtrack`` recovers from the
+        :meth:`bfs_unblocked` parent tree (a y-run from the start followed
+        by an x-run), without walking parent pointers.
+        """
+        i0, j0 = start
+        i1, j1 = cell
+        js = np.arange(j0, j1, 1 if j1 >= j0 else -1)
+        xs = np.arange(i0, i1, 1 if i1 >= i0 else -1)
+        ci = np.concatenate([np.full(js.size, i0), xs, [i1]])
+        cj = np.concatenate([js, np.full(xs.size + 1, j1)])
+        return ci, cj
 
     def backtrack(
         self, parent: np.ndarray, cell: tuple[int, int]
@@ -92,6 +319,20 @@ class MazeGrid:
             path.append((i, j))
         path.reverse()
         return path
+
+
+def _shift(mask: np.ndarray, di: int, dj: int) -> np.ndarray:
+    """Mask of cells one ``(di, dj)`` step downstream of ``mask``."""
+    out = np.zeros_like(mask)
+    if di == 1:
+        out[1:, :] = mask[:-1, :]
+    elif di == -1:
+        out[:-1, :] = mask[1:, :]
+    elif dj == 1:
+        out[:, 1:] = mask[:, :-1]
+    else:
+        out[:, :-1] = mask[:, 1:]
+    return out
 
 
 def blocked_path(
@@ -108,29 +349,50 @@ def blocked_path(
     same way :func:`route_maze` does.
     """
     bbox = BBox.of_points([a, b]).expanded(margin)
-    for _ in range(4):
-        grid = MazeGrid(bbox, pitch)
-        while grid.nx * grid.ny > 80_000:
-            pitch *= 1.5
-            grid = MazeGrid(bbox, pitch)
-        for region in blockages:
-            grid.block(region)
-        ca, cb = grid.nearest(a), grid.nearest(b)
-        if grid.blocked[ca] or grid.blocked[cb]:
-            raise ValueError("a trunk terminal lies inside a blockage")
-        dist, parent = grid.bfs(ca)
-        if dist[cb] != _UNREACHED:
-            cells = grid.backtrack(parent, cb)
-            points = [a] + [grid.center(i, j) for i, j in cells[1:-1]] + [b]
-            return PathPolyline(_compress_polyline(points))
-        expanded = bbox
-        for region in blockages:
-            if region.intersects(bbox):
-                expanded = expanded.union(region.expanded(2.0 * margin))
-        if expanded.width == bbox.width and expanded.height == bbox.height:
-            break
-        bbox = expanded
-    raise RuntimeError("trunk terminals are disconnected by blockages")
+
+    def target_reached(search: MazeSearch) -> bool:
+        return search.dists[0][search.cells[1]] != _UNREACHED
+
+    search = run_maze_search(
+        [a, b],
+        bbox,
+        pitch,
+        blockages,
+        margin,
+        target_reached,
+        what="trunk terminal",
+        n_sources=1,
+    )
+    grid = search.grid
+    cells = grid.backtrack(search.parents[0], search.cells[1])
+    points = [a] + [grid.center(i, j) for i, j in cells[1:-1]] + [b]
+    return PathPolyline(_compress_polyline(points))
+
+
+def _cells_polyline(
+    grid: MazeGrid, first: Point, ci: np.ndarray, cj: np.ndarray
+) -> list[Point]:
+    """``[first] + centers(cells)`` with collinear runs compressed.
+
+    Vectorized equivalent of building every cell-center Point and calling
+    :func:`_compress_polyline`: coordinates are computed with the exact
+    same expression as :meth:`MazeGrid.center`, and only the bend vertices
+    are materialized as Points.
+    """
+    if ci.size == 0:
+        return [first]
+    xs = np.concatenate(([first.x], grid.bbox.xmin + ci * grid.pitch))
+    ys = np.concatenate(([first.y], grid.bbox.ymin + cj * grid.pitch))
+    n = xs.size
+    if n <= 2:
+        return [first] + [Point(float(x), float(y)) for x, y in zip(xs[1:], ys[1:])]
+    same_x = (xs[:-2] == xs[1:-1]) & (xs[1:-1] == xs[2:])
+    same_y = (ys[:-2] == ys[1:-1]) & (ys[1:-1] == ys[2:])
+    keep = np.flatnonzero(~(same_x | same_y)) + 1
+    points = [first]
+    points.extend(Point(float(xs[i]), float(ys[i])) for i in keep)
+    points.append(Point(float(xs[-1]), float(ys[-1])))
+    return points
 
 
 def _compress_polyline(points: list[Point]) -> list[Point]:
@@ -165,37 +427,18 @@ def route_maze(
     margin = max(1.0, n_cells * options.routing_margin_ratio) * pitch
     bbox = BBox.of_points([p1, p2]).expanded(margin)
 
-    # A blockage can wall off the default window even though a detour
-    # exists just outside it; grow the window around every intersecting
-    # blockage (and coarsen the pitch if the cell count explodes).
-    grid = None
-    for _ in range(4):
-        grid = MazeGrid(bbox, pitch)
-        while grid.nx * grid.ny > 80_000:
-            pitch *= 1.5
-            grid = MazeGrid(bbox, pitch)
-        for region in blockages or []:
-            grid.block(region)
-        c1, c2 = grid.nearest(p1), grid.nearest(p2)
-        if grid.blocked[c1] or grid.blocked[c2]:
-            raise ValueError("a terminal lies inside a blockage")
-        dist1, parent1 = grid.bfs(c1)
-        dist2, parent2 = grid.bfs(c2)
-        both = (dist1 != _UNREACHED) & (dist2 != _UNREACHED)
-        if both.any():
-            break
-        expanded = bbox
-        for region in blockages or []:
-            if region.intersects(bbox):
-                expanded = expanded.union(region.expanded(2.0 * margin))
-        if (
-            expanded.width == bbox.width
-            and expanded.height == bbox.height
-        ):
-            raise RuntimeError("terminals are disconnected by blockages")
-        bbox = expanded
-    else:
-        raise RuntimeError("terminals are disconnected by blockages")
+    def both_reached(search: MazeSearch) -> bool:
+        return bool(
+            ((search.dists[0] != _UNREACHED) & (search.dists[1] != _UNREACHED)).any()
+        )
+
+    search = run_maze_search(
+        [p1, p2], bbox, pitch, blockages or [], margin, both_reached
+    )
+    grid, pitch = search.grid, search.pitch
+    dist1, dist2 = search.dists
+    parent1, parent2 = search.parents
+    both = (dist1 != _UNREACHED) & (dist2 != _UNREACHED)
 
     max_k = int(max(dist1[both].max(), dist2[both].max()))
     tables = SegmentTables(library, pitch, max_k + 1, options.target_slew)
@@ -215,38 +458,59 @@ def route_maze(
     prof1 = builders[0].delays_up_to(max_k)
     prof2 = builders[1].delays_up_to(max_k)
 
-    p1_vals = prof1[np.clip(dist1, 0, max_k)]
-    p2_vals = prof2[np.clip(dist2, 0, max_k)]
-    d1 = np.where(both, p1_vals, np.inf)
-    d2 = np.where(both, p2_vals, np.inf)
-    skew = np.where(both, np.abs(p1_vals - p2_vals), np.inf)
+    # Rank only the co-reached cells (lexsort ties break on the earliest
+    # flat index, which the subset preserves, so the winner is identical
+    # to ranking the full grid with inf sentinels).
+    cand = np.flatnonzero(both.ravel())
+    k1 = dist1.ravel()[cand]
+    k2 = dist2.ravel()[cand]
+    d1 = prof1[k1]
+    d2 = prof2[k2]
+    skew = np.abs(d1 - d2)
     total = np.maximum(d1, d2)
-    hops = np.where(both, dist1 + dist2, np.iinfo(int).max)
-    order = np.lexsort((hops.ravel(), total.ravel(), np.round(skew.ravel(), 15)))
-    best = order[0]
-    bi, bj = np.unravel_index(best, skew.shape)
+    hops = k1 + k2
+    # Successive argmin refinement: only the top-ranked cell is needed,
+    # and lexsort's stable tie order is the ascending flat index, which
+    # each refinement preserves.
+    rounded_skew = np.round(skew, 15)
+    sel = np.flatnonzero(rounded_skew == rounded_skew.min())
+    sel = sel[total[sel] == total[sel].min()]
+    sel = sel[hops[sel] == hops[sel].min()]
+    pick = int(sel[0])
+    best = int(cand[pick])
+    bi, bj = np.unravel_index(best, both.shape)
     meeting = grid.center(int(bi), int(bj))
-    kk1, kk2 = int(dist1[bi, bj]), int(dist2[bi, bj])
+    kk1, kk2 = int(k1[pick]), int(k2[pick])
 
-    def materialize(term, parent, cell, builder, k):
-        cells = grid.backtrack(parent, (int(cell[0]), int(cell[1])))
-        points = [term.point] + [grid.center(i, j) for i, j in cells[1:]]
+    def materialize(term, parent, start_cell, builder, k):
+        cell = (int(bi), int(bj))
+        if not grid._any_blocked:
+            # Obstacle-free window: the parent tree is the analytic
+            # staircase, so skip the pointer walk entirely.
+            ci, cj = grid.staircase_arrays(start_cell, cell)
+            ci, cj = ci[1:], cj[1:]
+        else:
+            cells = grid.backtrack(parent, cell)[1:]
+            ci = np.fromiter((c[0] for c in cells), dtype=float, count=len(cells))
+            cj = np.fromiter((c[1] for c in cells), dtype=float, count=len(cells))
+        points = _cells_polyline(grid, term.point, ci, cj)
         if len(points) == 1:
             points.append(meeting)
         return RoutedPath(
             term,
-            PathPolyline(_compress_polyline(points)),
+            PathPolyline(points),
             builder.state(k),
             pitch,
         )
 
-    left = materialize(term1, parent1, (bi, bj), builders[0], kk1)
-    right = materialize(term2, parent2, (bi, bj), builders[1], kk2)
+    c1, c2 = search.cells[0], search.cells[1]
+    left = materialize(term1, parent1, c1, builders[0], kk1)
+    right = materialize(term2, parent2, c2, builders[1], kk2)
     return RouteResult(
         meeting_point=meeting,
         left=left,
         right=right,
-        est_left_delay=float(d1[bi, bj]),
-        est_right_delay=float(d2[bi, bj]),
+        est_left_delay=float(d1[pick]),
+        est_right_delay=float(d2[pick]),
         grid_cells=max(grid.nx, grid.ny),
     )

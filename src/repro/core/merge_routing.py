@@ -300,7 +300,9 @@ class MergeRouter:
                     else:
                         v1 = snaked.new_root
                     continue
-            merge = make_merge(position.location)
+            # Re-balanced spans are straight lines that can cut through a
+            # blockage; keep the merge node itself outside any macro.
+            merge = make_merge(self._nudge_off_blockages(position.location))
             merge.attach(
                 v1, max(position.left_length, merge.location.manhattan_to(v1.location))
             )
@@ -346,7 +348,7 @@ class MergeRouter:
         branch_hi = float(self.library.branch[drive]["left_slew"].hi[2]) * 1.001
         for _ in range(max_rounds):
             left, right = merge.children
-            timing = self.library.branch_component(
+            branch_left, branch_right = self.library.branch_slews(
                 drive,
                 target,
                 0.0,
@@ -356,10 +358,10 @@ class MergeRouter:
                 self.engine._load_cap_of(right),
             )
             left_slew = (
-                float("inf") if left.wire_to_parent > branch_hi else timing.left_slew
+                float("inf") if left.wire_to_parent > branch_hi else branch_left
             )
             right_slew = (
-                float("inf") if right.wire_to_parent > branch_hi else timing.right_slew
+                float("inf") if right.wire_to_parent > branch_hi else branch_right
             )
             worst_side = None
             if left_slew > target:
@@ -390,7 +392,7 @@ class MergeRouter:
             lo, hi = 0.0, total
             for _ in range(24):
                 mid = (lo + hi) / 2.0
-                slew = self.library.single_wire(name, load_name, target, mid).wire_slew
+                slew = self.library.single_wire_slew(name, load_name, target, mid)
                 if slew <= target:
                     lo = mid
                 else:
@@ -454,7 +456,7 @@ class MergeRouter:
         cap_l = self.engine._load_cap_of(left)
         cap_r = self.engine._load_cap_of(right)
         for name in self.library.buffer_names:
-            timing = self.library.branch_component(
+            left_slew, right_slew = self.library.branch_slews(
                 name,
                 target,
                 0.0,
@@ -463,6 +465,6 @@ class MergeRouter:
                 cap_l,
                 cap_r,
             )
-            if timing.left_slew <= target and timing.right_slew <= target:
+            if left_slew <= target and right_slew <= target:
                 return self.buffers[name]
         return self.buffers[self.library.buffer_names[-1]]

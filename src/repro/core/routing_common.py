@@ -3,15 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.charlib.library import DelaySlewLibrary
 from repro.core.options import CTSOptions
 from repro.core.segment_builder import PathState
+from repro.geom.bbox import BBox
 from repro.geom.point import Point
 from repro.geom.segment import PathPolyline
 from repro.tree.nodes import TreeNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.maze_router import MazeGrid
+
+#: Per-window cell budget; above it the pitch is coarsened 1.5x at a time.
+MAX_WINDOW_CELLS = 80_000
 
 
 @dataclass
@@ -97,6 +105,89 @@ def choose_pitch(span: float, options: CTSOptions, stage_length: float) -> tuple
         n = int(np.ceil(span / pitch_cap))
     n = min(n, options.max_grid_cells)
     return span / n, n
+
+
+def grow_window(bbox: BBox, blockages: list[BBox], margin: float) -> BBox | None:
+    """One step of blockage-driven window expansion.
+
+    A blockage can wall off a routing window even though a detour exists
+    just outside it; the window grows around every intersecting blockage.
+    Returns the grown window, or ``None`` when no blockage forces growth
+    (the window is as large as it will ever get).
+    """
+    expanded = bbox
+    for region in blockages:
+        if region.intersects(bbox):
+            expanded = expanded.union(region.expanded(2.0 * margin))
+    if expanded.width == bbox.width and expanded.height == bbox.height:
+        return None
+    return expanded
+
+
+@dataclass
+class MazeSearch:
+    """Result of a windowed maze search: the final grid plus per-source BFS."""
+
+    grid: "MazeGrid"
+    pitch: float
+    cells: list[tuple[int, int]]  # grid cells of the input points, in order
+    dists: list[np.ndarray]  # BFS step distances, one per source
+    parents: list[np.ndarray]  # BFS parent encodings, one per source
+
+
+def run_maze_search(
+    points: list[Point],
+    bbox: BBox,
+    pitch: float,
+    blockages: list[BBox],
+    margin: float,
+    reachable: Callable[[MazeSearch], bool],
+    what: str = "terminal",
+    n_sources: int | None = None,
+    max_attempts: int = 4,
+    cell_cap: int = MAX_WINDOW_CELLS,
+) -> MazeSearch:
+    """The window-expansion / pitch-coarsening loop shared by maze routes.
+
+    Builds a grid over ``bbox`` (coarsening the pitch while the cell count
+    exceeds ``cell_cap``), blocks the blockage regions, runs one BFS from
+    each of the first ``n_sources`` points, and accepts the result when
+    ``reachable`` says so; otherwise the window grows around intersecting
+    blockages (:func:`grow_window`) and the search retries. When no growth
+    is possible the points are genuinely disconnected.
+    """
+    from repro.core.maze_router import MazeGrid  # deferred: avoids an import cycle
+
+    if n_sources is None:
+        n_sources = len(points)
+    for _ in range(max_attempts):
+        grid = MazeGrid(bbox, pitch)
+        while grid.nx * grid.ny > cell_cap:
+            pitch *= 1.5
+            grid = MazeGrid(bbox, pitch)
+        for region in blockages:
+            grid.block(region)
+        cells = []
+        for p in points:
+            cell = grid.nearest(p)
+            if grid.blocked[cell]:
+                if any(region.contains(p) for region in blockages):
+                    raise ValueError(f"a {what} lies inside a blockage")
+                # The point is legal; only its quantized cell landed inside
+                # a blockage (coarse pitch). Snap to the nearest free cell.
+                cell = grid.nearest_free(cell)
+            cells.append(cell)
+        results = grid.bfs_many(cells[:n_sources])
+        dists = [d for d, _ in results]
+        parents = [p for _, p in results]
+        search = MazeSearch(grid, pitch, cells, dists, parents)
+        if reachable(search):
+            return search
+        grown = grow_window(bbox, blockages, margin)
+        if grown is None:
+            break
+        bbox = grown
+    raise RuntimeError(f"{what}s are disconnected by blockages")
 
 
 def l_path(a: Point, b: Point) -> PathPolyline:

@@ -17,9 +17,15 @@ Numerical scheme:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
+
+try:  # scipy ships with the toolchain; fall back to dense solves without it.
+    from scipy.linalg import lu_factor, lu_solve
+except ImportError:  # pragma: no cover - exercised only without scipy
+    lu_factor = lu_solve = None
 
 from repro.spice.circuit import Circuit, GROUND
 from repro.spice.mosfet import mosfet_current
@@ -164,11 +170,15 @@ def _newton_solve(
     v_full: np.ndarray,
     opts: TransientOptions,
     mos_terms: list[tuple[int, int, int]],
+    a0_lu=None,
 ) -> np.ndarray:
     """Solve ``a0 v_u + i_nl(v) = rhs`` for the unknown sub-vector.
 
     ``v_full`` holds the current voltage estimate for every node (knowns
     already set for this timestep); it is updated in place and returned.
+    Without MOSFETs the Jacobian is ``a0`` itself, so no copy is stamped
+    and a prefactored ``a0_lu`` (scipy LU) can be reused across every
+    timestep of a run.
     """
     upos = sys.unknown_pos
     u_idx = np.array(sys.unknown, dtype=int)
@@ -178,25 +188,30 @@ def _newton_solve(
     for iteration in range(opts.max_newton):
         v_u = v_full[u_idx]
         f = a0 @ v_u - rhs
-        jac = a0.copy()
-        for m, (g, d, s) in zip(sys.mosfets, mos_terms):
-            vg = v_full[g] if g >= 0 else 0.0
-            vd = v_full[d] if d >= 0 else 0.0
-            vs = v_full[s] if s >= 0 else 0.0
-            i, di_dvg, di_dvd, di_dvs = mosfet_current(vg, vd, vs, m.params)
-            if d in upos:
-                row = upos[d]
-                f[row] += i
-                for term, dterm in ((g, di_dvg), (d, di_dvd), (s, di_dvs)):
-                    if term in upos:
-                        jac[row, upos[term]] += dterm
-            if s in upos:
-                row = upos[s]
-                f[row] -= i
-                for term, dterm in ((g, di_dvg), (d, di_dvd), (s, di_dvs)):
-                    if term in upos:
-                        jac[row, upos[term]] -= dterm
-        dv = np.linalg.solve(jac, -f)
+        if mos_terms:
+            jac = a0.copy()
+            for m, (g, d, s) in zip(sys.mosfets, mos_terms):
+                vg = v_full[g] if g >= 0 else 0.0
+                vd = v_full[d] if d >= 0 else 0.0
+                vs = v_full[s] if s >= 0 else 0.0
+                i, di_dvg, di_dvd, di_dvs = mosfet_current(vg, vd, vs, m.params)
+                if d in upos:
+                    row = upos[d]
+                    f[row] += i
+                    for term, dterm in ((g, di_dvg), (d, di_dvd), (s, di_dvs)):
+                        if term in upos:
+                            jac[row, upos[term]] += dterm
+                if s in upos:
+                    row = upos[s]
+                    f[row] -= i
+                    for term, dterm in ((g, di_dvg), (d, di_dvd), (s, di_dvs)):
+                        if term in upos:
+                            jac[row, upos[term]] -= dterm
+            dv = np.linalg.solve(jac, -f)
+        elif a0_lu is not None:
+            dv = lu_solve(a0_lu, -f)
+        else:
+            dv = np.linalg.solve(a0, -f)
         max_dv = float(np.max(np.abs(dv)))
         # Oscillation control: when consecutive updates reverse direction
         # (limit cycling across model-region boundaries), shrink the
@@ -365,6 +380,17 @@ def simulate(
 
     c_over_h = sys.c_diag / opts.dt
     a0 = sys.g_uu + np.diag(c_over_h)
+    # Linear circuits (no MOSFETs) reuse one LU factorization of a0 for
+    # every Newton solve of every timestep. A zero pivot means a0 is
+    # singular; fall back to np.linalg.solve so the run still fails
+    # loudly (lu_solve would return inf instead of raising).
+    a0_lu = None
+    if not mos_terms and lu_factor is not None:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            candidate = lu_factor(a0)
+        if not np.any(np.diag(candidate[0]) == 0.0):
+            a0_lu = candidate
     # Injection from known nodes, precomputed for every step.
     inj_known = -sys.g_uk @ vk_all  # (n_u, n_steps)
 
@@ -376,7 +402,7 @@ def simulate(
         v_prev_u = v_full[u_idx].copy()
         v_full[k_idx] = vk_all[:, k]
         rhs = inj_known[:, k] + c_over_h * v_prev_u
-        v_full = _newton_solve(sys, a0, rhs, v_full, opts, mos_terms)
+        v_full = _newton_solve(sys, a0, rhs, v_full, opts, mos_terms, a0_lu=a0_lu)
         voltages[k, :] = v_full
         if opts.auto_stop:
             step_dv = float(np.max(np.abs(v_full[u_idx] - v_prev_u)))

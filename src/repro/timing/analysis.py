@@ -136,13 +136,17 @@ class LibraryTimingEngine:
         ``include_buffer_delay``; the driver's output otherwise).
         """
         if structure.is_load:
-            timing = self.library.single_wire_for_cap(
-                drive, self._load_cap_of(structure.end), input_slew, structure.length
+            load_name = self.library.load_name_for_cap(
+                self._load_cap_of(structure.end)
             )
-            delay = timing.wire_delay + (
-                timing.buffer_delay if include_buffer_delay else 0.0
+            delay, slew = self.library.single_wire_delay_slew(
+                drive,
+                load_name,
+                input_slew,
+                structure.length,
+                include_buffer_delay,
             )
-            return [(structure.end, delay, timing.wire_slew)]
+            return [(structure.end, delay, slew)]
         branches = structure.branches
         if len(branches) != 2:
             # Rare >2-way split (Steiner tap): pair up recursively by

@@ -1,0 +1,172 @@
+"""Equivalence of the vectorized routing engine vs the seed references.
+
+The contract of the vectorized rewrite (maze BFS, blocking, matching):
+
+- ``block`` marks exactly the same cells as the cell-by-cell reference;
+- both vectorized BFS paths (sparse-graph and frontier-dilation wave)
+  produce distance fields identical to the queue reference;
+- backtracked paths are parents-consistent shortest paths (each step
+  adjacent, length equal to the BFS distance) — parent *choices* may
+  differ, the distances may not;
+- ``route_maze`` picks the identical merge cell (it depends only on the
+  distance fields) with identical per-side step counts;
+- the bucketed ``greedy_matching`` returns the exact same pairs and seed
+  as the O(n^2) reference, including tie resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.maze_router import MazeGrid, route_maze
+from repro.core.options import CTSOptions
+from repro.core.routing_common import RouteTerminal, slew_limited_length
+from repro.core.topology import (
+    EdgeCost,
+    SubTree,
+    greedy_matching,
+    greedy_matching_reference,
+)
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+from repro.timing.analysis import SubtreeBounds
+from repro.tree.nodes import make_sink
+
+
+def random_grid(rng, max_dim=50, n_blocks=(0, 5)):
+    nx = int(rng.integers(4, max_dim))
+    ny = int(rng.integers(4, max_dim))
+    grid = MazeGrid(BBox(0, 0, nx * 100.0, ny * 100.0), pitch=100.0)
+    for _ in range(int(rng.integers(*n_blocks))):
+        x0, y0 = rng.uniform(0, nx * 100.0), rng.uniform(0, ny * 100.0)
+        grid.block(
+            BBox(x0, y0, x0 + rng.uniform(100, 2000), y0 + rng.uniform(100, 2000))
+        )
+    return grid
+
+
+def free_cell(grid, rng):
+    free = np.argwhere(~grid.blocked)
+    return tuple(free[rng.integers(len(free))])
+
+
+class TestBlockEquivalence:
+    def test_masked_block_matches_reference(self, rng):
+        for _ in range(10):
+            bbox = BBox(0, 0, float(rng.uniform(500, 6000)), float(rng.uniform(500, 6000)))
+            pitch = float(rng.uniform(37.0, 240.0))
+            vec, ref = MazeGrid(bbox, pitch), MazeGrid(bbox, pitch)
+            for _ in range(int(rng.integers(1, 6))):
+                x0, y0 = rng.uniform(-500, 6000, 2)
+                region = BBox(
+                    x0, y0, x0 + rng.uniform(50, 2500), y0 + rng.uniform(50, 2500)
+                )
+                vec.block(region)
+                ref.block_reference(region)
+            assert np.array_equal(vec.blocked, ref.blocked)
+
+
+class TestBfsEquivalence:
+    def test_distance_fields_identical(self, rng):
+        for _ in range(12):
+            grid = random_grid(rng)
+            start = free_cell(grid, rng)
+            dist_ref, _ = grid.bfs_reference(start)
+            dist_sparse, _ = grid.bfs_sparse(start)
+            dist_wave, _ = grid.bfs_wave(start)
+            assert np.array_equal(dist_sparse, dist_ref)
+            assert np.array_equal(dist_wave, dist_ref)
+
+    def test_backtracked_paths_parents_consistent(self, rng):
+        for _ in range(6):
+            grid = random_grid(rng)
+            start = free_cell(grid, rng)
+            dist_ref, _ = grid.bfs_reference(start)
+            for name in ("bfs_sparse", "bfs_wave"):
+                dist, parent = getattr(grid, name)(start)
+                reached = np.argwhere(dist >= 0)
+                for cell in map(tuple, reached[:: max(1, len(reached) // 40)]):
+                    path = grid.backtrack(parent, cell)
+                    assert path[0] == start
+                    assert path[-1] == cell
+                    # shortest: length equals the reference distance
+                    assert len(path) == dist_ref[cell] + 1
+                    for (i1, j1), (i2, j2) in zip(path, path[1:]):
+                        assert abs(i1 - i2) + abs(j1 - j2) == 1
+                        assert not grid.blocked[i2, j2]
+
+    def test_blocked_start_raises_everywhere(self):
+        grid = MazeGrid(BBox(0, 0, 1000, 1000), pitch=100.0)
+        grid.block(BBox(-50, -50, 50, 50))
+        for name in ("bfs", "bfs_sparse", "bfs_wave", "bfs_reference"):
+            with pytest.raises(ValueError):
+                getattr(grid, name)((0, 0))
+
+
+class TestRouteEquivalence:
+    def term(self, x, y, delay=0.0):
+        node = make_sink(Point(x, y), 8e-15)
+        return RouteTerminal(node, Point(x, y), delay, delay, "BUF20X")
+
+    def test_identical_merge_cell_and_step_counts(self, library, monkeypatch):
+        """The merge point depends only on the distance fields, so the
+        reference BFS and the vectorized BFS must choose the same cell."""
+        options = CTSOptions()
+        stage_length = slew_limited_length(library, options.target_slew)
+        wall = [BBox(4500, -1500, 5200, 900), BBox(2000, 2000, 2600, 5200)]
+        t1, t2 = self.term(0, 0, delay=30e-12), self.term(9000, 4000)
+        fast = route_maze(t1, t2, library, options, stage_length, wall)
+        monkeypatch.setattr(MazeGrid, "bfs", MazeGrid.bfs_reference)
+        monkeypatch.setattr(
+            MazeGrid, "bfs_many", lambda self, starts: [self.bfs(s) for s in starts]
+        )
+        ref = route_maze(t1, t2, library, options, stage_length, wall)
+        assert fast.meeting_point == ref.meeting_point
+        assert fast.est_left_delay == ref.est_left_delay
+        assert fast.est_right_delay == ref.est_right_delay
+        # Equal-length shortest paths (geometry may differ cell-by-cell).
+        assert fast.left.polyline.length == pytest.approx(ref.left.polyline.length)
+        assert fast.right.polyline.length == pytest.approx(ref.right.polyline.length)
+        assert fast.left.state == ref.left.state
+        assert fast.right.state == ref.right.state
+
+
+def subtree(x, y, delay=0.0):
+    node = make_sink(Point(x, y), 5e-15)
+    return SubTree(node, SubtreeBounds(delay, delay, 0.0))
+
+
+class TestMatchingEquivalence:
+    @pytest.mark.parametrize("beta", [0.0, 1.0, 1000.0])
+    def test_identical_pairs_up_to_n300(self, rng, beta):
+        cost = EdgeCost(CTSOptions(cost_beta=beta), delay_per_unit=0.02e-12)
+        for trial in range(12):
+            n = int(rng.integers(1, 301))
+            if trial % 3 == 0:  # clustered levels (register banks)
+                centers = rng.uniform(0, 10000, (5, 2))
+                pts = centers[rng.integers(0, 5, n)] + rng.normal(0, 250, (n, 2))
+            else:
+                pts = rng.uniform(0, 30000, (n, 2))
+            delays = rng.uniform(0, 150e-12, n)
+            if n > 3:  # exercise exact ties: duplicated locations + delays
+                pts[1] = pts[0]
+                delays[1] = delays[0]
+            nodes = [
+                subtree(float(x), float(y), float(d))
+                for (x, y), d in zip(pts, delays)
+            ]
+            centroid = Point(float(pts[:, 0].mean()), float(pts[:, 1].mean()))
+            pairs, seed = greedy_matching(list(nodes), centroid, cost)
+            ref_pairs, ref_seed = greedy_matching_reference(
+                list(nodes), centroid, cost
+            )
+            assert seed is ref_seed
+            assert len(pairs) == len(ref_pairs)
+            for (a, b), (ra, rb) in zip(pairs, ref_pairs):
+                assert a is ra and b is rb
+
+    def test_empty_raises_like_reference(self):
+        cost = EdgeCost(CTSOptions(), delay_per_unit=0.02e-12)
+        with pytest.raises(ValueError):
+            greedy_matching([], Point(0, 0), cost)
+        with pytest.raises(ValueError):
+            greedy_matching_reference([], Point(0, 0), cost)
