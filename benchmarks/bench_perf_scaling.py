@@ -2,22 +2,31 @@
 
 Times the canonical scaling scenarios (50/200/1000/4000 sinks, with and
 without macro blockages; ``REPRO_SCALE`` caps the ladder for CI smoke)
-with the vectorized routing engine and with the retained seed-reference
-implementations, then emits ``benchmarks/results/BENCH_cts_scaling.json``
-— the perf-trajectory artifact all future PRs re-measure against.
+with the vectorized routing engine, with the retained seed-reference
+implementations, and — at 1000+ sinks — with the parallel merge-routing
+pool, then emits ``benchmarks/results/BENCH_cts_scaling.json`` — the
+perf-trajectory artifact all future PRs re-measure against.
 
 Shape claims:
 - every scenario completes and reports positive wall-clock seconds;
 - wherever the reference baseline was timed at >= 200 sinks, the
   vectorized engine is faster;
 - on the 1000-sink blockage scenario (the acceptance scenario, present
-  in full runs) the speedup is at least 10x.
+  in full runs) the speedup is at least 10x;
+- parallel merge routing produces a tree bit-identical to the serial
+  flow (checked on the 200-sink blockage scenario every run), and on
+  machines with enough cores the 4000-sink blockage scenario is faster
+  than serial.
 """
+
+import os
 
 from conftest import report
 
 from repro.evalx.perfstats import (
+    PARALLEL_WORKERS,
     collect_scaling,
+    parallel_equivalence,
     render_scaling,
     scaling_sizes,
     write_scaling_json,
@@ -48,3 +57,27 @@ def test_perf_scaling():
                 "acceptance scenario regressed below 10x: "
                 f"{row['speedup']:.1f}x"
             )
+
+    # Parallel rows: identical trees are asserted separately (below);
+    # here the shape claim is that the rows exist for every 1000+ size
+    # and, when the host actually has the cores, that the 4000-sink
+    # blockage scenario beats serial.
+    par_rows = {(r["n_sinks"], r["blockages"]): r for r in payload["parallel_speedups"]}
+    for n in sizes:
+        if n >= 1000:
+            assert (n, False) in par_rows and (n, True) in par_rows
+    many_cores = (os.cpu_count() or 1) > PARALLEL_WORKERS
+    acceptance = par_rows.get((4000, True))
+    if acceptance is not None and many_cores:
+        assert acceptance["speedup"] > 1.0, (
+            "parallel merge routing slower than serial on the 4000-sink "
+            f"blockage scenario: {acceptance['speedup']:.2f}x"
+        )
+
+
+def test_parallel_matches_serial():
+    """Parallel flow is bit-identical to serial on the 200-sink scenario."""
+    payload = parallel_equivalence(n_sinks=200, with_blockages=True)
+    assert payload["serial_tree"] == payload["parallel_tree"]
+    assert payload["serial_stats"] == payload["parallel_stats"]
+    assert payload["serial_levels"] == payload["parallel_levels"]

@@ -60,7 +60,7 @@ class BoundedSkewDME:
     # ------------------------------------------------------------------
 
     def synthesize(self, sinks: list[tuple[Point, float]]) -> BSTResult:
-        t0 = time.time()
+        t0 = time.perf_counter()
         states = [
             _BSTState(
                 ManhattanArc.point(pt), 0.0, 0.0, cap,
@@ -75,7 +75,7 @@ class BoundedSkewDME:
         root_point = root_state.arc.closest_point_to(center)
         self._embed(root_state, root_point)
         tree = ClockTree.from_network(root_point, root_state.node)
-        return BSTResult(tree, time.time() - t0, self.bound)
+        return BSTResult(tree, time.perf_counter() - t0, self.bound)
 
     # ------------------------------------------------------------------
 

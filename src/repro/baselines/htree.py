@@ -62,7 +62,7 @@ class HTreeSynthesizer:
     # ------------------------------------------------------------------
 
     def synthesize(self, sinks: list[tuple[Point, float]]) -> HTreeResult:
-        t0 = time.time()
+        t0 = time.perf_counter()
         if not sinks:
             raise ValueError("need at least one sink")
         box = BBox.of_points([p for p, __ in sinks])
@@ -79,7 +79,7 @@ class HTreeSynthesizer:
             self._attach_with_buffers(leaf, node)
         self._prune_empty(root)
         tree = ClockTree.from_network(center, root, 0.0)
-        return HTreeResult(tree, time.time() - t0, levels)
+        return HTreeResult(tree, time.perf_counter() - t0, levels)
 
     # ------------------------------------------------------------------
 

@@ -95,7 +95,7 @@ class MergeBufferCTS:
     # ------------------------------------------------------------------
 
     def synthesize(self, sinks: list[tuple[Point, float]]) -> MergeBufferResult:
-        t0 = time.time()
+        t0 = time.perf_counter()
         level = [
             SubTree(make_sink(pt, cap, name=f"s{i}"), None)
             for i, (pt, cap) in enumerate(sinks)
@@ -116,7 +116,7 @@ class MergeBufferCTS:
             level = next_level
         root = level[0].root
         tree = ClockTree.from_network(root.location, root)
-        return MergeBufferResult(tree, time.time() - t0, self.policy)
+        return MergeBufferResult(tree, time.perf_counter() - t0, self.policy)
 
     # ------------------------------------------------------------------
 

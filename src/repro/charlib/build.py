@@ -74,7 +74,7 @@ def build_library(
     tech = tech or default_technology()
     buffers = buffers or cts_buffer_library()
     config = config or CharConfig()
-    t0 = time.time()
+    t0 = time.perf_counter()
     single: dict[tuple[str, str], dict[str, PolynomialFit]] = {}
     branch: dict[str, dict[str, PolynomialFit]] = {}
     rng = np.random.default_rng(config.seed)
@@ -103,7 +103,7 @@ def build_library(
         BufferMeta(b.name, b.size, b.input_cap(tech)) for b in buffers
     ]
     meta = {
-        "built_in_seconds": round(time.time() - t0, 1),
+        "built_in_seconds": round(time.perf_counter() - t0, 1),
         "config": {
             "dt": config.dt,
             "source_slew": config.source_slew,

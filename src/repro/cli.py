@@ -42,6 +42,14 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--slew-limit", type=float, default=100.0, help="ps")
     synth.add_argument("--hstructure", choices=["reestimate", "correct"])
     synth.add_argument("--router", choices=["profile", "maze"], default="profile")
+    synth.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers for per-pair merge routing (0 = serial;"
+        " results are bit-identical either way)",
+    )
     synth.add_argument("--eval-dt", type=float, default=1.0, help="sim step (ps)")
     synth.add_argument("--json", metavar="PATH", help="save tree as JSON")
     synth.add_argument("--dot", metavar="PATH", help="save tree as Graphviz DOT")
@@ -56,6 +64,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--table", choices=["5.1", "5.2", "5.3"], required=True)
     bench.add_argument("--scale", type=int, default=40, help="sinks per instance")
     bench.add_argument("--full", action="store_true", help="published sizes")
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers for per-pair merge routing (0 = serial)",
+    )
     return parser
 
 
@@ -88,6 +103,7 @@ def _cmd_synthesize(args) -> int:
         slew_limit=args.slew_limit * 1e-12,
         hstructure=args.hstructure,
         router=args.router,
+        **({} if args.workers is None else {"workers": args.workers}),
     )
     cts = AggressiveBufferedCTS(options=options, blockages=inst.blockages or None)
     result = cts.synthesize(inst.sink_pairs(), inst.source)
@@ -130,6 +146,7 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from repro.core import CTSOptions
     from repro.evalx.harness import (
         render_table_5_1,
         render_table_5_2,
@@ -140,12 +157,27 @@ def _cmd_bench(args) -> int:
     )
 
     full = True if args.full else False
+    options = CTSOptions(
+        **({} if args.workers is None else {"workers": args.workers})
+    )
     if args.table == "5.1":
-        print(render_table_5_1(table_5_1_rows(full=full, scale=args.scale)))
+        print(
+            render_table_5_1(
+                table_5_1_rows(full=full, scale=args.scale, options=options)
+            )
+        )
     elif args.table == "5.2":
-        print(render_table_5_2(table_5_2_rows(full=full, scale=args.scale)))
+        print(
+            render_table_5_2(
+                table_5_2_rows(full=full, scale=args.scale, options=options)
+            )
+        )
     else:
-        print(render_table_5_3(table_5_3_rows(full=full, scale=args.scale)))
+        print(
+            render_table_5_3(
+                table_5_3_rows(full=full, scale=args.scale, workers=options.workers)
+            )
+        )
     return 0
 
 

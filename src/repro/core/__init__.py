@@ -12,8 +12,15 @@ blockages and much faster).
 
 from repro.core.options import CTSOptions
 from repro.core.cts import AggressiveBufferedCTS, SynthesisResult, synthesize_clock_tree
-from repro.core.topology import SubTree, EdgeCost, greedy_matching, select_seed
-from repro.core.merge_routing import MergeRouter, MergeStats
+from repro.core.topology import (
+    SubTree,
+    EdgeCost,
+    greedy_matching,
+    select_seed,
+    select_seed_index,
+)
+from repro.core.merge_routing import MergePlan, MergeRouter, MergeStats, route_pair
+from repro.core.parallel_merge import ParallelMergeExecutor, WorkerContext
 from repro.core.segment_builder import PathBuilder, PathState, PlacedBuffer, SegmentTables
 from repro.core.routing_common import (
     RouteTerminal,
@@ -41,8 +48,13 @@ __all__ = [
     "EdgeCost",
     "greedy_matching",
     "select_seed",
+    "select_seed_index",
+    "MergePlan",
     "MergeRouter",
     "MergeStats",
+    "route_pair",
+    "ParallelMergeExecutor",
+    "WorkerContext",
     "PathBuilder",
     "PathState",
     "PlacedBuffer",

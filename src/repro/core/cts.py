@@ -26,7 +26,7 @@ from repro.tech.presets import cts_buffer_library, default_technology
 from repro.tech.technology import Technology
 from repro.timing.analysis import LibraryTimingEngine
 from repro.tree.clocktree import ClockTree
-from repro.tree.nodes import TreeNode, make_sink
+from repro.tree.nodes import TreeNode, make_sink, peek_node_id
 from repro.tree.validate import validate_tree
 
 
@@ -81,6 +81,8 @@ class AggressiveBufferedCTS:
             blockages,
         )
         self._cost = EdgeCost(self.options, self.router._delay_per_unit)
+        #: Why the parallel path was disabled, if it was (see _make_executor).
+        self.parallel_fallback_reason: str | None = None
 
     # ------------------------------------------------------------------
 
@@ -92,20 +94,37 @@ class AggressiveBufferedCTS:
         """Synthesize a clock tree over ``(location, capacitance)`` sinks."""
         if len(sinks) < 1:
             raise ValueError("need at least one sink")
-        t0 = time.time()
+        t0 = time.perf_counter()
         level = [self._leaf(pt, cap, i) for i, (pt, cap) in enumerate(sinks)]
         center = centroid([s.point for s in level])
         n_flips = 0
         n_levels = 0
-        while len(level) > 1:
-            n_levels += 1
-            pairs, seed = greedy_matching(level, center, self._cost)
-            next_level: list[SubTree] = [seed] if seed else []
-            for a, b in pairs:
-                merged = self._merge_pair(a, b)
-                n_flips += merged[1]
-                next_level.extend(merged[0])
-            level = next_level
+        executor = self._make_executor()
+        try:
+            while len(level) > 1:
+                n_levels += 1
+                pairs, seed = greedy_matching(level, center, self._cost)
+                next_level: list[SubTree] = [seed] if seed else []
+                if (
+                    executor is not None
+                    and len(pairs) >= self.options.parallel_min_level_size
+                ):
+                    merged_level, level_flips = self._merge_level_parallel(
+                        executor, pairs
+                    )
+                    n_flips += level_flips
+                    next_level.extend(merged_level)
+                else:
+                    for a, b in pairs:
+                        merged = self._merge_pair(a, b)
+                        n_flips += merged[1]
+                        next_level.extend(merged[0])
+                level = next_level
+        finally:
+            if executor is not None:
+                if executor.fallback_reason is not None:
+                    self.parallel_fallback_reason = executor.fallback_reason
+                executor.close()
         root = level[0].root
         if source_location is None:
             source_location = root.location
@@ -116,11 +135,92 @@ class AggressiveBufferedCTS:
         return SynthesisResult(
             tree=tree,
             options=self.options,
-            runtime=time.time() - t0,
+            runtime=time.perf_counter() - t0,
             n_flippings=n_flips,
             merge_stats=self.router.stats,
             levels=n_levels,
         )
+
+    # ------------------------------------------------------------------
+    # Parallel level routing
+    # ------------------------------------------------------------------
+
+    def _make_executor(self):
+        """A :class:`ParallelMergeExecutor`, or None for the serial flow.
+
+        Falls back to serial (recording why) when the routing context
+        cannot cross a process boundary — e.g. a hand-built library with
+        unpicklable members.
+        """
+        self.parallel_fallback_reason = None
+        if self.options.workers < 2:
+            return None
+        from repro.core.parallel_merge import ParallelMergeExecutor
+
+        try:
+            return ParallelMergeExecutor(
+                self.router, self.options.workers, self.options.merge_batch_size
+            )
+        except Exception as exc:  # unpicklable context, exhausted fds, ...
+            self.parallel_fallback_reason = f"{type(exc).__name__}: {exc}"
+            return None
+
+    def _merge_level_parallel(
+        self, executor, pairs: list[tuple[SubTree, SubTree]]
+    ) -> tuple[list[SubTree], int]:
+        """Merge one level with the route phase fanned out to the pool.
+
+        Three sweeps, each in pair order: (1) the stateful prepare phase
+        (H-structure pairs take the full serial path here, since their
+        re-pairing decisions interleave routing); (2) the pure route
+        phase, batched across workers; (3) the stateful commit phase.
+        Afterwards the level's nodes are renumbered into serial creation
+        order so the result is bit-identical to the serial flow.
+        """
+        from repro.core.parallel_merge import (
+            renumber_subtrees,
+            serial_id_mapping,
+        )
+
+        base = peek_node_id()
+        n_flips = 0
+        spans: list[list[tuple[int, int]]] = []
+        prepared: list[tuple[str, object]] = []
+        for a, b in pairs:
+            start = peek_node_id()
+            if self._is_hstructure_pair(a, b):
+                merged, flips = self._merge_pair(a, b)
+                n_flips += flips
+                prepared.append(("done", merged))
+            else:
+                prepared.append(("plan", (a, b, self.router.prepare(a.root, b.root))))
+            spans.append([(start, peek_node_id())])
+
+        routes = executor.route_plans(
+            [
+                payload[2] if kind == "plan" else None
+                for kind, payload in prepared
+            ]
+        )
+
+        merged_level: list[SubTree] = []
+        level_roots: list[TreeNode] = []
+        for i, (kind, payload) in enumerate(prepared):
+            start = peek_node_id()
+            if kind == "done":
+                subtrees = payload
+            else:
+                a, b, plan = payload
+                root = self.router.commit(plan, routes[i])
+                subtrees = [self._subtree(root, (a.root, b.root))]
+            spans[i].append((start, peek_node_id()))
+            merged_level.extend(subtrees)
+            level_roots.extend(s.root for s in subtrees)
+
+        renumber_subtrees(
+            level_roots, serial_id_mapping(base, spans), self.engine
+        )
+        return merged_level, n_flips
 
     # ------------------------------------------------------------------
 
@@ -133,13 +233,22 @@ class AggressiveBufferedCTS:
     ) -> SubTree:
         return SubTree(root, self.router.subtree_bounds(root), parts)
 
+    def _is_hstructure_pair(self, a: SubTree, b: SubTree) -> bool:
+        """Whether this pair goes through H-structure re-pairing.
+
+        Shared by the serial and parallel level paths — the parallel path
+        must route exactly the pairs the serial flow would, or the
+        bit-identical guarantee breaks.
+        """
+        return bool(self.options.hstructure and a.parts and b.parts)
+
     def _merge_pair(
         self, a: SubTree, b: SubTree
     ) -> tuple[list[SubTree], int]:
         """Merge one matched pair; H-structure checking may split it into
         two replacement sub-trees that are then merged normally."""
-        mode = self.options.hstructure
-        if mode and a.parts and b.parts:
+        if self._is_hstructure_pair(a, b):
+            mode = self.options.hstructure
             if mode == "reestimate":
                 outcome = reestimate_pairing(self.router, self._cost, a, b)
             else:

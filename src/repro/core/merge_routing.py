@@ -18,7 +18,7 @@ This module orchestrates one merge of two sub-trees:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.charlib.library import DelaySlewLibrary
 from repro.core.balance import snake_delay
@@ -55,6 +55,52 @@ class MergeStats:
     n_corrective_buffers: int = 0
     n_forced_stage_buffers: int = 0
     binary_search_iters: int = 0
+
+    def combine(self, other: "MergeStats") -> "MergeStats":
+        """Field-wise sum — merge diagnostics from independent routers."""
+        return MergeStats(
+            *(
+                getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            )
+        )
+
+
+@dataclass
+class MergePlan:
+    """Output of the serial prepare phase of one merge.
+
+    ``root1``/``root2`` are the (possibly re-rooted by balance snaking)
+    sub-tree roots the commit phase will join. For non-coincident pairs
+    the terminals carry everything the side-effect-free route phase
+    needs; their :meth:`~repro.core.routing_common.RouteTerminal.detached`
+    copies are what crosses a process boundary.
+    """
+
+    root1: TreeNode
+    root2: TreeNode
+    coincident: bool
+    term1: RouteTerminal | None = None
+    term2: RouteTerminal | None = None
+
+
+def route_pair(
+    term1: RouteTerminal,
+    term2: RouteTerminal,
+    library: DelaySlewLibrary,
+    options: CTSOptions,
+    stage_length: float,
+    blockages: list[BBox],
+) -> RouteResult:
+    """The pure route phase of one merge: terminals in, route out.
+
+    Deterministic in its arguments, touches no shared state, and needs
+    only the scalar terminal fields — this is the function parallel
+    workers execute (:mod:`repro.core.parallel_merge`).
+    """
+    if options.router == "maze" or blockages:
+        return route_maze(term1, term2, library, options, stage_length, blockages)
+    return route_profile(term1, term2, library, options, stage_length)
 
 
 class MergeRouter:
@@ -131,13 +177,52 @@ class MergeRouter:
 
     def merge(self, root1: TreeNode, root2: TreeNode) -> TreeNode:
         """Merge two sub-trees and return the new root node."""
+        plan = self.prepare(root1, root2)
+        return self.commit(plan, self.route_plan(plan))
+
+    def prepare(self, root1: TreeNode, root2: TreeNode) -> MergePlan:
+        """Stateful pre-route phase: balance snaking plus terminal capture.
+
+        Everything that mutates the tree or the stats before routing
+        happens here, so the route phase between :meth:`prepare` and
+        :meth:`commit` is side-effect-free and can run out of process.
+        """
         self.stats.n_merges += 1
         if root1.location.manhattan_to(root2.location) <= 1e-9:
-            return self._merge_coincident(root1, root2)
+            return MergePlan(root1, root2, True)
         root1, root2 = self._balance(root1, root2)
-        term1 = self.terminal_for(root1)
-        term2 = self.terminal_for(root2)
-        route = self._route(term1, term2)
+        return MergePlan(
+            root1,
+            root2,
+            False,
+            self.terminal_for(root1),
+            self.terminal_for(root2),
+        )
+
+    def route_plan(self, plan: MergePlan) -> RouteResult | None:
+        """Route a prepared merge in-process (None for coincident pairs)."""
+        if plan.coincident:
+            return None
+        return route_pair(
+            plan.term1,
+            plan.term2,
+            self.library,
+            self.options,
+            self.stage_length,
+            self.blockages,
+        )
+
+    def commit(self, plan: MergePlan, route: RouteResult | None) -> TreeNode:
+        """Stateful post-route phase: materialize, search, repair.
+
+        ``route`` may come from another process with detached terminals;
+        the plan's terminals (which hold the live nodes) are re-bound
+        before materialization.
+        """
+        if plan.coincident:
+            return self._merge_coincident(plan.root1, plan.root2)
+        route.left.terminal = plan.term1
+        route.right.terminal = plan.term2
         return self._commit(route)
 
     def _merge_coincident(self, root1: TreeNode, root2: TreeNode) -> TreeNode:
@@ -174,20 +259,6 @@ class MergeRouter:
         if diff > 0:
             return root1, result.new_root
         return result.new_root, root2
-
-    def _route(self, term1: RouteTerminal, term2: RouteTerminal) -> RouteResult:
-        if self.options.router == "maze" or self.blockages:
-            return route_maze(
-                term1,
-                term2,
-                self.library,
-                self.options,
-                self.stage_length,
-                self.blockages,
-            )
-        return route_profile(
-            term1, term2, self.library, self.options, self.stage_length
-        )
 
     def route_trunk(self, root: TreeNode, source_point: Point) -> tuple[TreeNode, float]:
         """Buffered path from the final tree root to the clock source.

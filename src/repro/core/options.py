@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+
+
+def _default_workers() -> int:
+    """Honor ``REPRO_WORKERS`` so CI can run whole suites in parallel mode."""
+    return int(os.environ.get("REPRO_WORKERS", "0") or 0)
 
 
 @dataclass
@@ -42,6 +48,13 @@ class CTSOptions:
     max_unbuffered_cap_ratio: float = 2.0  # force a buffer at a merge whose
     #   collapsed stage cap exceeds ratio * (largest buffer input cap), so
     #   every stage load stays within the library's characterized range
+    # --- parallel merge routing ------------------------------------------
+    workers: int = field(default_factory=_default_workers)  # process-pool
+    #   workers for per-pair merge routing; 0 or 1 = serial flow
+    merge_batch_size: int = 0  # route tasks shipped per worker call;
+    #   0 = auto (level pairs spread over ~4 batches per worker)
+    parallel_min_level_size: int = 8  # smallest pair count per topology
+    #   level worth the IPC of the parallel path; smaller levels run serial
     # --- misc ------------------------------------------------------------
     virtual_drive: str | None = None  # assumed driver type (default largest)
     source_slew: float = 60.0e-12  # slew of the ideal ramp at the clock source
@@ -57,6 +70,12 @@ class CTSOptions:
             raise ValueError(f"unknown hstructure mode {self.hstructure!r}")
         if self.grid_resolution < 4:
             raise ValueError("grid_resolution must be >= 4")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.merge_batch_size < 0:
+            raise ValueError("merge_batch_size must be >= 0")
+        if self.parallel_min_level_size < 1:
+            raise ValueError("parallel_min_level_size must be >= 1")
 
     @property
     def target_slew(self) -> float:

@@ -1,0 +1,273 @@
+"""Parallel per-pair merge routing over a deterministic process pool.
+
+Within one topology level every matched pair routes independently (grid
+build + two BFS passes + profile evaluation), so the route phase is
+embarrassingly parallel. This module runs it on a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+- each worker is initialized **once** with a pickled
+  :class:`WorkerContext` (library, options, blockages, stage length) —
+  tasks themselves carry only two node-free
+  :class:`~repro.core.routing_common.RouteTerminal` copies;
+- pairs are shipped in **batches** (``CTSOptions.merge_batch_size``, or
+  an automatic split into ~4 batches per worker) to amortize IPC now
+  that the vectorized engine made a single route cheap;
+- results are gathered **in submission order** and indexed back to their
+  pair, so the main process commits them in exactly the serial
+  sequence regardless of worker scheduling.
+
+Routing is a pure function of its inputs (`route_pair`), and the library
+pickle round-trip re-derives its compiled evaluators from identical
+coefficients, so a worker's :class:`RouteResult` is bit-identical to the
+in-process one.
+
+Serial-identical node numbering
+-------------------------------
+
+The phases still create nodes in a different *order* than the serial
+flow (all prepares, then all commits, instead of prepare+commit per
+pair), which would leak into auto-generated node ids and names. The
+executor therefore records the id range each phase call consumed and
+renumbers the level's nodes afterwards into the serial creation order —
+a bijection on the level's id block — and remaps the timing engine's
+memoized bounds keys to follow. The synthesized tree (including node
+names) is then bit-identical to the serial flow's.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.charlib.library import DelaySlewLibrary
+from repro.core.merge_routing import MergePlan, MergeRouter, route_pair
+from repro.core.options import CTSOptions
+from repro.core.routing_common import RouteResult, RouteTerminal
+from repro.geom.bbox import BBox
+from repro.timing.analysis import LibraryTimingEngine
+from repro.tree.nodes import TreeNode
+
+
+@dataclass
+class WorkerContext:
+    """Everything a worker needs to route any pair of this synthesis."""
+
+    library: DelaySlewLibrary
+    options: CTSOptions
+    blockages: list[BBox]
+    stage_length: float
+
+
+_CTX: WorkerContext | None = None
+
+
+def _init_worker(ctx_bytes: bytes) -> None:
+    """Build the per-worker context once (not per task)."""
+    global _CTX
+    _CTX = pickle.loads(ctx_bytes)
+
+
+def _route_batch(
+    tasks: list[tuple[int, RouteTerminal, RouteTerminal]],
+) -> list[tuple[int, RouteResult]]:
+    """Route one batch of (pair index, terminal, terminal) tasks."""
+    ctx = _CTX
+    if ctx is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("merge-routing worker used before initialization")
+    return [
+        (
+            index,
+            route_pair(
+                term1,
+                term2,
+                ctx.library,
+                ctx.options,
+                ctx.stage_length,
+                ctx.blockages,
+            ),
+        )
+        for index, term1, term2 in tasks
+    ]
+
+
+def _pool_context():
+    """Prefer fork (cheap, POSIX) but survive platforms without it."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ParallelMergeExecutor:
+    """A process pool that routes prepared merge plans deterministically.
+
+    Construction pickles the routing context up front — raising
+    immediately (rather than mid-level) when a custom library or
+    blockage set cannot cross a process boundary — but the pool itself
+    is spawned lazily on the first routed level.
+    """
+
+    def __init__(
+        self,
+        router: MergeRouter,
+        workers: int,
+        batch_size: int = 0,
+    ):
+        if workers < 2:
+            raise ValueError("parallel merge routing needs workers >= 2")
+        self.workers = workers
+        self.batch_size = batch_size
+        context = WorkerContext(
+            router.library,
+            router.options,
+            list(router.blockages),
+            router.stage_length,
+        )
+        self._ctx_bytes = pickle.dumps(
+            context, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._fallback_ctx: WorkerContext | None = None
+        #: Why routing dropped to in-process execution, if it did.
+        self.fallback_reason: str | None = None
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        """The pool, spawned on first use; None if spawning failed.
+
+        A host at its process/fd limit fails here, not at construction;
+        routing then runs in-process through the exact same task path
+        (bit-identical results, just no parallelism) instead of aborting
+        a synthesis the serial flow could finish.
+        """
+        if self._pool is None and self.fallback_reason is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=_pool_context(),
+                    initializer=_init_worker,
+                    initargs=(self._ctx_bytes,),
+                )
+            except OSError as exc:
+                self.fallback_reason = f"{type(exc).__name__}: {exc}"
+        return self._pool
+
+    def _batch_size_for(self, n_tasks: int) -> int:
+        if self.batch_size > 0:
+            return self.batch_size
+        # ~4 batches per worker: coarse enough to amortize IPC, fine
+        # enough that an unlucky slow batch cannot idle the pool.
+        return max(1, math.ceil(n_tasks / (4 * self.workers)))
+
+    def route_plans(
+        self, plans: list[MergePlan | None]
+    ) -> list[RouteResult | None]:
+        """Route every routable plan; results indexed like ``plans``.
+
+        ``None`` entries (pairs merged by another path) and coincident
+        plans come back as ``None``. Batches are gathered in submission
+        order, so the output — and hence the commit sequence — does not
+        depend on worker scheduling.
+        """
+        tasks = [
+            (i, plan.term1.detached(), plan.term2.detached())
+            for i, plan in enumerate(plans)
+            if plan is not None and not plan.coincident
+        ]
+        results: list[RouteResult | None] = [None] * len(plans)
+        if not tasks:
+            return results
+        pool = self._ensure_pool()
+        if pool is None:
+            if self._fallback_ctx is None:
+                self._fallback_ctx = pickle.loads(self._ctx_bytes)
+            ctx = self._fallback_ctx
+            for index, term1, term2 in tasks:
+                results[index] = route_pair(
+                    term1,
+                    term2,
+                    ctx.library,
+                    ctx.options,
+                    ctx.stage_length,
+                    ctx.blockages,
+                )
+            return results
+        size = self._batch_size_for(len(tasks))
+        futures = [
+            pool.submit(_route_batch, tasks[k : k + size])
+            for k in range(0, len(tasks), size)
+        ]
+        for future in futures:
+            for index, route in future.result():
+                results[index] = route
+        return results
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelMergeExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Serial-identical renumbering
+# ----------------------------------------------------------------------
+
+
+def serial_id_mapping(
+    base: int, spans_per_pair: list[list[tuple[int, int]]]
+) -> dict[int, int]:
+    """Map phase-order node ids onto serial creation order.
+
+    ``spans_per_pair[i]`` lists the ``[start, end)`` id ranges pair ``i``
+    consumed, in that pair's own phase order (prepare first, commit
+    second). The serial flow would have consumed the same ranges pair by
+    pair starting at ``base``; the returned dict is that bijection,
+    with identity entries dropped.
+    """
+    mapping: dict[int, int] = {}
+    next_id = base
+    for spans in spans_per_pair:
+        for start, end in spans:
+            for old in range(start, end):
+                if old != next_id:
+                    mapping[old] = next_id
+                next_id += 1
+    return mapping
+
+
+def renumber_subtrees(
+    roots: list[TreeNode],
+    mapping: dict[int, int],
+    engine: LibraryTimingEngine,
+) -> None:
+    """Apply a serial id mapping to live nodes and the engine's cache.
+
+    Auto-generated names (``m<id>``/``b<id>``/…) are regenerated so
+    exports match the serial flow byte for byte; explicit names (sinks,
+    sources) are never touched because level-created nodes are only
+    merges, buffers and steiner points.
+    """
+    if not mapping:
+        return
+    for root in roots:
+        for node in root.walk():
+            new_id = mapping.get(node.id)
+            if new_id is None:
+                continue
+            auto_name = f"{node.kind.value[0]}{node.id}"
+            node.id = new_id
+            if node.name == auto_name:
+                node.name = f"{node.kind.value[0]}{new_id}"
+    engine.remap_node_ids(mapping)

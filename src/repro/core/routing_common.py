@@ -24,13 +24,26 @@ MAX_WINDOW_CELLS = 80_000
 
 @dataclass
 class RouteTerminal:
-    """One sub-tree root as seen by the router."""
+    """One sub-tree root as seen by the router.
 
-    node: TreeNode
+    Routing itself only reads the scalar fields (point, delays, load
+    type); ``node`` is carried along so the commit phase can materialize
+    the buffer chain onto the right sub-tree. :meth:`detached` drops the
+    node reference, which is what makes a terminal cheap to pickle across
+    a process boundary.
+    """
+
+    node: TreeNode | None
     point: Point
     base_delay: float  # max delay from this point to the sub-tree's sinks
     min_delay: float  # min delay (for skew bookkeeping)
     load_name: str  # library load type approximating the root's stage cap
+
+    def detached(self) -> "RouteTerminal":
+        """Node-free copy (everything the pure route phase needs)."""
+        return RouteTerminal(
+            None, self.point, self.base_delay, self.min_delay, self.load_name
+        )
 
 
 @dataclass

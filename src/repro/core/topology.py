@@ -64,9 +64,22 @@ class EdgeCost:
         return abs(a.max_delay - b.max_delay) * self.units_per_second
 
 
+def select_seed_index(nodes: list[SubTree]) -> int:
+    """Index of the node promoted unmatched on odd counts: max latency.
+
+    The tie-break is explicit — among equal delays the *lowest pool
+    index* wins — rather than relying on ``max`` iteration order over
+    bare float delays; the parallel flow's bit-identical guarantee
+    depends on this being deterministic.
+    """
+    if not nodes:
+        raise ValueError("seed selection on empty level")
+    return max(range(len(nodes)), key=lambda i: (nodes[i].max_delay, -i))
+
+
 def select_seed(nodes: list[SubTree]) -> SubTree:
     """The node promoted unmatched on odd counts: maximum latency."""
-    return max(nodes, key=lambda s: s.max_delay)
+    return nodes[select_seed_index(nodes)]
 
 
 def greedy_matching(
@@ -89,11 +102,7 @@ def greedy_matching(
     """
     if not nodes:
         raise ValueError("matching on empty level")
-    pool = list(nodes)
-    seed = None
-    if len(pool) % 2 == 1:
-        seed = select_seed(pool)
-        pool.remove(seed)
+    pool, seed = _promote_seed(nodes)
     # Sort once by distance from centroid (descending); consume greedily.
     pool.sort(key=lambda s: s.point.manhattan_to(centroid), reverse=True)
     return _match_pool(pool, cost), seed
@@ -107,13 +116,25 @@ def greedy_matching_reference(
     """The original O(n^2) matching scan (semantics reference)."""
     if not nodes:
         raise ValueError("matching on empty level")
-    pool = list(nodes)
-    seed = None
-    if len(pool) % 2 == 1:
-        seed = select_seed(pool)
-        pool.remove(seed)
+    pool, seed = _promote_seed(nodes)
     pool.sort(key=lambda s: s.point.manhattan_to(centroid), reverse=True)
     return _match_pool_scan(pool, cost), seed
+
+
+def _promote_seed(nodes: list[SubTree]) -> tuple[list[SubTree], SubTree | None]:
+    """Copy the pool, removing the promoted seed *by identity* on odd counts.
+
+    ``list.remove`` drops the first ``==``-equal element, which is the
+    wrong object when a level holds equal-comparing sub-trees; removal by
+    index keeps seed promotion deterministic and identity-exact.
+    """
+    pool = list(nodes)
+    if len(pool) % 2 == 0:
+        return pool, None
+    idx = select_seed_index(pool)
+    seed = pool[idx]
+    del pool[idx]
+    return pool, seed
 
 
 class _SpatialBuckets:

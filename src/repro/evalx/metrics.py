@@ -68,7 +68,7 @@ def evaluate_tree(
     root = _as_root(tree)
     if root.kind is not NodeKind.SOURCE:
         raise ValueError("evaluate_tree expects a tree rooted at a SOURCE")
-    t0 = time.time()
+    t0 = time.perf_counter()
     source_wave = ramp_waveform(tech.vdd, source_slew, t_start=50.0e-12)
     threshold = tech.logic_threshold_voltage()
     t_ref = source_wave.cross_time(threshold)
@@ -127,7 +127,7 @@ def evaluate_tree(
         wirelength=sum(n.wire_to_parent for n in root.walk()),
         n_buffers=len(root.buffers()),
         sink_arrivals=arrivals,
-        runtime=time.time() - t0,
+        runtime=time.perf_counter() - t0,
         method="spice",
     )
 
@@ -143,7 +143,7 @@ def engine_metrics(
     during synthesis experiments.
     """
     root = _as_root(tree)
-    t0 = time.time()
+    t0 = time.perf_counter()
     timing = engine.analyze(root, source_slew)
     arrivals = {s.name: timing.arrivals[s.id].arrival for s in timing.sink_nodes}
     values = list(arrivals.values())
@@ -156,6 +156,6 @@ def engine_metrics(
         wirelength=sum(n.wire_to_parent for n in root.walk()),
         n_buffers=len(root.buffers()),
         sink_arrivals=arrivals,
-        runtime=time.time() - t0,
+        runtime=time.perf_counter() - t0,
         method="engine",
     )

@@ -8,7 +8,11 @@ full synthesis runs with two engines:
   blocking, bucketed matching, compiled fit evaluators);
 - ``reference``: the retained seed implementations (cell-by-cell
   ``block``, queue BFS, O(n^2) matching, interpreted fit evaluation)
-  running inside the same flow.
+  running inside the same flow;
+- ``parallel``: the vectorized engine with the per-pair route phase
+  fanned out to a ``PARALLEL_WORKERS``-process pool (bit-identical
+  trees; timed at sizes >= ``PARALLEL_MIN_SINKS`` where batching can
+  amortize the IPC).
 
 ``collect_scaling`` produces a JSON-ready payload with per-scenario
 seconds and reference/vectorized speedups; ``write_scaling_json`` emits
@@ -47,6 +51,13 @@ from repro.geom.point import Point
 
 #: The canonical scaling ladder (sinks per scenario).
 SCALING_SIZES = (50, 200, 1000, 4000)
+
+#: Worker count for the parallel merge-routing rows of the bench.
+PARALLEL_WORKERS = 2
+
+#: Smallest ladder size at which serial-vs-parallel is timed (below this
+#: the per-merge cost is too small for process-pool IPC to amortize).
+PARALLEL_MIN_SINKS = 1000
 
 #: Sink density: die edge grows with sqrt(n) so merge spans stay realistic.
 AREA_PER_SQRT_SINK = 1200.0
@@ -202,12 +213,19 @@ def time_synthesis(
     strictly additive, so the minimum is the honest estimate).
     """
     sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    if engine == "parallel":
+        options = CTSOptions(workers=PARALLEL_WORKERS)
+    else:
+        # Pin workers=0 so REPRO_WORKERS cannot silently parallelize the
+        # serial rows (the reference engine's monkeypatches in particular
+        # would not propagate into pool workers).
+        options = CTSOptions(workers=0)
 
     def run() -> dict:
         best = None
         for _ in range(max(1, repeats)):
             cts = AggressiveBufferedCTS(
-                options=CTSOptions(), blockages=blockages or None
+                options=options, blockages=blockages or None
             )
             t0 = time.perf_counter()
             result = cts.synthesize(sinks, source)
@@ -230,7 +248,7 @@ def time_synthesis(
     if engine == "reference":
         with reference_engine():
             return run()
-    if engine != "vectorized":
+    if engine not in ("vectorized", "parallel"):
         raise ValueError(f"unknown engine {engine!r}")
     return run()
 
@@ -251,10 +269,24 @@ def collect_scaling(
     cap = reference_cap if reference_cap is not None else reference_size_cap()
     samples: list[dict] = []
     speedups: list[dict] = []
+    parallel_speedups: list[dict] = []
     for with_blockages in (False, True):
         for n in sizes:
             vec = time_synthesis(n, with_blockages, "vectorized", seed, repeats=2)
             samples.append(vec)
+            if n >= PARALLEL_MIN_SINKS:
+                par = time_synthesis(n, with_blockages, "parallel", seed, repeats=2)
+                samples.append(par)
+                parallel_speedups.append(
+                    {
+                        "n_sinks": n,
+                        "blockages": with_blockages,
+                        "workers": PARALLEL_WORKERS,
+                        "serial_s": vec["seconds"],
+                        "parallel_s": par["seconds"],
+                        "speedup": vec["seconds"] / par["seconds"],
+                    }
+                )
             if n <= cap:
                 ref = time_synthesis(n, with_blockages, "reference", seed)
                 samples.append(ref)
@@ -283,9 +315,41 @@ def collect_scaling(
         "reference_cap": cap,
         "seed": seed,
         "python": platform.python_version(),
+        "cpus": os.cpu_count(),
         "samples": samples,
         "speedups": speedups,
+        "parallel_speedups": parallel_speedups,
     }
+
+
+def parallel_equivalence(
+    n_sinks: int = 200,
+    with_blockages: bool = True,
+    workers: int = PARALLEL_WORKERS,
+    seed: int = 5,
+) -> dict:
+    """Serial and parallel runs of one scenario, reduced to signatures.
+
+    The returned trees are canonical :func:`repro.tree.export.tree_signature`
+    dicts (auto names rebased per run), so ``serial_tree == parallel_tree``
+    asserts bit-identical synthesis including node creation order.
+    """
+    from repro.tree.export import tree_signature
+    from repro.tree.nodes import peek_node_id
+
+    sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    out: dict = {"n_sinks": n_sinks, "blockages": with_blockages}
+    for label, n_workers in (("serial", 0), ("parallel", workers)):
+        cts = AggressiveBufferedCTS(
+            options=CTSOptions(workers=n_workers, merge_batch_size=0),
+            blockages=blockages or None,
+        )
+        base = peek_node_id()
+        result = cts.synthesize(sinks, source)
+        out[f"{label}_tree"] = tree_signature(result.tree, base)
+        out[f"{label}_stats"] = result.merge_stats
+        out[f"{label}_levels"] = result.levels
+    return out
 
 
 def write_scaling_json(payload: dict, results_dir: str | Path | None = None) -> Path:
@@ -312,7 +376,7 @@ def render_scaling(payload: dict) -> str:
                 "-" if row["speedup"] is None else round(row["speedup"], 1),
             ]
         )
-    return format_table(
+    table = format_table(
         headers,
         body,
         title=(
@@ -320,3 +384,24 @@ def render_scaling(payload: dict) -> str:
             " reference (same flow, same scenarios)"
         ),
     )
+    if payload.get("parallel_speedups"):
+        par_body = [
+            [
+                row["n_sinks"],
+                "yes" if row["blockages"] else "no",
+                round(row["serial_s"], 3),
+                round(row["parallel_s"], 3),
+                round(row["speedup"], 2),
+            ]
+            for row in payload["parallel_speedups"]
+        ]
+        table += "\n\n" + format_table(
+            ["sinks", "blockages", "serial[s]", "parallel[s]", "speedup"],
+            par_body,
+            title=(
+                "Serial vs parallel merge routing"
+                f" (workers={PARALLEL_WORKERS}, {payload.get('cpus', '?')} cpus;"
+                " bit-identical trees)"
+            ),
+        )
+    return table

@@ -254,6 +254,22 @@ class LibraryTimingEngine:
     def clear_cache(self) -> None:
         self._bounds_cache.clear()
 
+    def remap_node_ids(self, mapping: dict[int, int]) -> None:
+        """Rewrite memoized bounds keys after a node-id renumbering.
+
+        The parallel merge flow renumbers a level's freshly created nodes
+        into serial creation order; cached bounds are keyed by node id, so
+        the keys must follow the (bijective) renumbering or a later node
+        could hit a stale entry under its reassigned id.
+        """
+        if not mapping or not self._bounds_cache:
+            return
+        cache = self._bounds_cache
+        moved = [key for key in cache if key[0] in mapping]
+        entries = [(key, cache.pop(key)) for key in moved]
+        for (node_id, quant), bounds in entries:
+            cache[(mapping[node_id], quant)] = bounds
+
     def _quantize(self, slew: float) -> int:
         return int(round(slew / SLEW_QUANTUM))
 

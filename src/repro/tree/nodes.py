@@ -2,14 +2,46 @@
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.geom.point import Point
 from repro.tech.buffers import BufferType
 
-_node_ids = itertools.count()
+
+class _NodeIdCounter:
+    """Monotonic node-id source with a non-consuming :meth:`peek`.
+
+    The parallel merge flow records which id range each prepare/commit
+    phase consumed so it can renumber a level's nodes into the exact
+    order the serial flow would have assigned (see
+    :mod:`repro.core.parallel_merge`); that requires reading the counter
+    without advancing it, which :func:`itertools.count` cannot do.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def __iter__(self) -> "_NodeIdCounter":
+        return self
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        return self._next
+
+
+_node_ids = _NodeIdCounter()
+
+
+def peek_node_id() -> int:
+    """The id the next created :class:`TreeNode` will receive."""
+    return _node_ids.peek()
 
 
 class NodeKind(Enum):

@@ -1,0 +1,194 @@
+"""Parallel merge routing equals the serial flow, bit for bit.
+
+The contract under test: with ``workers >= 2`` the route phase of every
+topology level runs on a process pool, yet the synthesized tree —
+topology, geometry, wire lengths, buffer types, and (after the serial
+renumbering pass) even auto-generated node names — is identical to the
+serial flow's, and the merge diagnostics aggregate to the same totals.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import AggressiveBufferedCTS, CTSOptions, MergeStats
+from repro.core.parallel_merge import (
+    ParallelMergeExecutor,
+    serial_id_mapping,
+)
+from repro.core.topology import SubTree, greedy_matching, select_seed
+from repro.geom.bbox import BBox
+from repro.geom.point import Point
+from repro.timing.analysis import SubtreeBounds
+from repro.tree.export import tree_signature
+from repro.tree.nodes import make_sink, peek_node_id
+
+from tests.conftest import make_sink_pairs
+
+
+def synth(sinks, workers, blockages=None, **option_overrides):
+    """One synthesis run plus the rebased signature of its tree."""
+    options = CTSOptions(
+        workers=workers,
+        parallel_min_level_size=1,
+        merge_batch_size=2,
+        **option_overrides,
+    )
+    cts = AggressiveBufferedCTS(options=options, blockages=blockages)
+    base = peek_node_id()
+    result = cts.synthesize(sinks)
+    return tree_signature(result.tree, base), result
+
+
+class TestParallelMatchesSerial:
+    def _assert_identical(self, sinks, blockages=None, **overrides):
+        serial_sig, serial = synth(sinks, 0, blockages, **overrides)
+        parallel_sig, parallel = synth(sinks, 2, blockages, **overrides)
+        assert serial_sig == parallel_sig
+        assert serial.merge_stats == parallel.merge_stats
+        assert serial.levels == parallel.levels
+        assert serial.n_flippings == parallel.n_flippings
+
+    def test_even_level_sizes(self):
+        self._assert_identical(make_sink_pairs(16, 30000.0, seed=11))
+
+    def test_odd_level_sizes_promote_seed(self):
+        self._assert_identical(make_sink_pairs(9, 30000.0, seed=12))
+
+    def test_with_blockages_maze_router(self):
+        blockages = [
+            BBox(8000.0, 8000.0, 16000.0, 16000.0),
+            BBox(20000.0, 2000.0, 26000.0, 12000.0),
+        ]
+        clear = [bbox.expanded(1200.0) for bbox in blockages]
+        sinks = [
+            (p, c)
+            for p, c in make_sink_pairs(18, 30000.0, seed=13)
+            if not any(region.contains(p) for region in clear)
+        ]
+        assert len(sinks) >= 10
+        self._assert_identical(sinks, blockages=blockages)
+
+    def test_with_hstructure_correction(self):
+        self._assert_identical(
+            make_sink_pairs(8, 26000.0, seed=14), hstructure="correct"
+        )
+
+    def test_with_hstructure_reestimation(self):
+        self._assert_identical(
+            make_sink_pairs(12, 26000.0, seed=15), hstructure="reestimate"
+        )
+
+    def test_small_levels_fall_back_to_serial(self):
+        """Below ``parallel_min_level_size`` no pool is ever spawned."""
+        sinks = make_sink_pairs(6, 20000.0, seed=16)
+        options = CTSOptions(workers=2, parallel_min_level_size=64)
+        cts = AggressiveBufferedCTS(options=options)
+        result = cts.synthesize(sinks)
+        assert len(result.tree.sinks()) == len(sinks)
+
+
+class TestExecutor:
+    def test_rejects_single_worker(self, library):
+        cts = AggressiveBufferedCTS(options=CTSOptions())
+        with pytest.raises(ValueError):
+            ParallelMergeExecutor(cts.router, workers=1)
+
+    def test_context_pickles_before_pool_spawn(self):
+        """Construction validates picklability without starting workers."""
+        cts = AggressiveBufferedCTS(options=CTSOptions())
+        executor = ParallelMergeExecutor(cts.router, workers=2)
+        assert executor._pool is None
+        executor.close()
+
+    def test_pool_spawn_failure_routes_in_process(self, monkeypatch):
+        """A host that cannot fork still finishes with identical results."""
+        import repro.core.parallel_merge as pm
+
+        def refuse(*args, **kwargs):
+            raise OSError("Resource temporarily unavailable")
+
+        sinks = make_sink_pairs(10, 24000.0, seed=17)
+        serial_sig, _ = synth(sinks, 0)
+        monkeypatch.setattr(pm, "ProcessPoolExecutor", refuse)
+        options = CTSOptions(workers=2, parallel_min_level_size=1)
+        cts = AggressiveBufferedCTS(options=options)
+        base = peek_node_id()
+        result = cts.synthesize(sinks)
+        assert tree_signature(result.tree, base) == serial_sig
+        assert "OSError" in cts.parallel_fallback_reason
+
+    def test_unpicklable_context_falls_back_to_serial(self):
+        cts = AggressiveBufferedCTS(
+            options=CTSOptions(workers=2, parallel_min_level_size=1)
+        )
+        cts.router.blockages = [lambda: None]  # poison: unpicklable
+        assert cts._make_executor() is None
+        assert "PicklingError" in cts.parallel_fallback_reason or "Error" in (
+            cts.parallel_fallback_reason or ""
+        )
+
+    def test_library_pickle_round_trip_is_exact(self, library):
+        clone = pickle.loads(pickle.dumps(library))
+        name = library.buffer_names[0]
+        fit = library.single[(name, name)]["wire_slew"]
+        fit_clone = clone.single[(name, name)]["wire_slew"]
+        probe = (60.0e-12, 1500.0)
+        assert fit.predict(*probe) == fit_clone.predict(*probe)
+        assert (fit.coeffs == fit_clone.coeffs).all()
+
+
+class TestSerialIdMapping:
+    def test_reorders_phase_blocks_into_pair_order(self):
+        # Pair 0 consumed [10,12) in prepare and [16,19) in commit; pair 1
+        # consumed [12,16) and [19,20). Serial order interleaves per pair.
+        spans = [[(10, 12), (16, 19)], [(12, 16), (19, 20)]]
+        mapping = serial_id_mapping(10, spans)
+        assert mapping == {16: 12, 17: 13, 18: 14, 12: 15, 13: 16, 14: 17, 15: 18}
+
+    def test_identity_when_already_serial(self):
+        spans = [[(5, 7), (7, 9)], [(9, 10), (10, 12)]]
+        assert serial_id_mapping(5, spans) == {}
+
+
+class TestMergeStats:
+    def test_combine_sums_every_field(self):
+        a = MergeStats(1, 2, 3.0, 4, 5, 6, 7)
+        b = MergeStats(10, 20, 30.0, 40, 50, 60, 70)
+        assert a.combine(b) == MergeStats(11, 22, 33.0, 44, 55, 66, 77)
+
+    def test_combine_with_zero_is_identity(self):
+        a = MergeStats(1, 2, 3.0, 4, 5, 6, 7)
+        assert a.combine(MergeStats()) == a
+
+
+class TestTieBreaks:
+    def _subtree(self, x, y, delay):
+        node = make_sink(Point(x, y), 5e-15)
+        return SubTree(node, SubtreeBounds(delay, delay, 0.0))
+
+    def test_select_seed_ties_resolve_to_first(self):
+        tied = [self._subtree(0, 0, 5e-12) for _ in range(3)]
+        assert select_seed(tied) is tied[0]
+
+    def test_seed_removed_by_identity(self):
+        """Equal-comparing sub-trees must not shadow the promoted seed."""
+        shared = make_sink(Point(0.0, 0.0), 5e-15)
+        bounds = SubtreeBounds(9e-12, 9e-12, 0.0)
+        dup_a = SubTree(shared, bounds)
+        dup_b = SubTree(shared, bounds)
+        other = self._subtree(4000.0, 0.0, 1e-12)
+        assert dup_a == dup_b  # precondition: ==-equal, distinct objects
+
+        class Cost:
+            alpha = 1.0
+
+            def __call__(self, a, b):
+                return a.point.manhattan_to(b.point)
+
+        pairs, seed = greedy_matching([dup_a, dup_b, other], Point(0, 0), Cost())
+        assert seed is dup_a  # first max-delay occurrence promoted
+        matched = {id(s) for pair in pairs for s in pair}
+        assert id(dup_b) in matched and id(dup_a) not in matched
