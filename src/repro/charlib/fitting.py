@@ -150,10 +150,14 @@ class PolynomialFit:
                 lines.append(f"    x{v}_{p} = {prev} * x{v}")
         lines.append("    total = 0.0")
         for coeff, factors in self._terms:
-            expr = repr(coeff)
-            for v, p in factors:
-                expr += f" * x{v}" if p == 1 else f" * x{v}_{p}"
-            lines.append(f"    total += {expr}")
+            # Factor product first, coefficient last — the canonical term
+            # order shared with ``predict`` and ``predict_many`` so scalar
+            # and batched evaluation are bit-identical.
+            parts = [
+                f"x{v}" if p == 1 else f"x{v}_{p}" for v, p in factors
+            ]
+            parts.append(repr(coeff))
+            lines.append(f"    total += {' * '.join(parts)}")
         lines.append("    return total")
         namespace: dict = {}
         exec("\n".join(lines), {}, namespace)
@@ -179,10 +183,14 @@ class PolynomialFit:
             powers.append(var_pows)
         total = 0.0
         for coeff, factors in self._terms:
-            term = coeff
-            for v, p in factors:
-                term *= powers[v][p]
-            total += term
+            if factors:
+                v0, p0 = factors[0]
+                term = powers[v0][p0]
+                for v, p in factors[1:]:
+                    term = term * powers[v][p]
+                total += term * coeff
+            else:
+                total += coeff
         return total
 
     def __getstate__(self) -> dict:
@@ -243,12 +251,52 @@ class PolynomialFit:
             self._partial_cache[x0] = curve
         return curve
 
+    def _batch_powers(self, x: np.ndarray) -> list[list[np.ndarray]]:
+        """Per-variable normalized power columns, built exactly like the
+        scalar evaluator (clamp, affine normalize, repeated multiply)."""
+        powers: list[list[np.ndarray]] = []
+        for v in range(self.n_vars):
+            lo, hi = self._lo_list[v], self._hi_list[v]
+            xn = (np.clip(x[:, v], lo, hi) - lo) * self._inv_span[v] - 1.0
+            var_pows: list[np.ndarray] = [None, xn]  # index = exponent
+            for _ in range(self._max_exp[v] - 1):
+                var_pows.append(var_pows[-1] * xn)
+            powers.append(var_pows)
+        return powers
+
+    def _term_columns(self, powers: list[list[np.ndarray]]) -> list[np.ndarray | None]:
+        """Per-term factor products (coefficient-free; None for the
+        constant term), left-associated like the scalar evaluator."""
+        cols: list[np.ndarray | None] = []
+        for __, factors in self._terms:
+            if factors:
+                v0, p0 = factors[0]
+                col = powers[v0][p0]
+                for v, p in factors[1:]:
+                    col = col * powers[v][p]
+                cols.append(col)
+            else:
+                cols.append(None)
+        return cols
+
     def predict_many(self, x: np.ndarray) -> np.ndarray:
-        """Evaluate at points given as an (n_pts, n_vars) array."""
+        """Evaluate at points given as an (n_pts, n_vars) array.
+
+        Performs the exact float operations of the scalar ``predict`` —
+        same clamps, same power chains, same term order — element-wise
+        over the batch, so ``predict_many(x)[k] == predict(*x[k])`` bit
+        for bit. The lockstep commit scheduler relies on this to keep
+        batched bisection trajectories identical to the scalar flow.
+        """
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[1] != self.n_vars:
             raise ValueError(f"expected (n, {self.n_vars}) array, got {x.shape}")
-        return self._design(self._normalize(x)) @ self.coeffs
+        total = np.zeros(x.shape[0])
+        for col, (coeff, __) in zip(
+            self._term_columns(self._batch_powers(x)), self._terms
+        ):
+            total += coeff if col is None else col * coeff
+        return total
 
     # ------------------------------------------------------------------
 
@@ -317,3 +365,39 @@ class PolynomialFit:
             FitQuality(**data["quality"]),
             data.get("var_names"),
         )
+
+
+def predict_many_grouped(
+    fits: list["PolynomialFit"], x: np.ndarray
+) -> list[np.ndarray]:
+    """Evaluate several fits at the same points, sharing term columns.
+
+    The branch fits of one driving buffer are trained on one sample grid,
+    so they share exponents and input ranges; their normalized powers and
+    per-term factor products are then identical and are computed once for
+    the whole group. Each fit still accumulates its terms in its own
+    order with the canonical term op order, so every output column is bit
+    for bit what ``fit.predict_many(x)`` (and hence ``fit.predict``)
+    returns. Fits that do not share shape fall back to per-fit calls.
+    """
+    first = fits[0]
+    if len(fits) > 1 and all(
+        f.exponents == first.exponents
+        and np.array_equal(f.lo, first.lo)
+        and np.array_equal(f.hi, first.hi)
+        for f in fits[1:]
+    ):
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != first.n_vars:
+            raise ValueError(
+                f"expected (n, {first.n_vars}) array, got {x.shape}"
+            )
+        cols = first._term_columns(first._batch_powers(x))
+        out = []
+        for f in fits:
+            total = np.zeros(x.shape[0])
+            for col, (coeff, __) in zip(cols, f._terms):
+                total += coeff if col is None else col * coeff
+            out.append(total)
+        return out
+    return [f.predict_many(x) for f in fits]

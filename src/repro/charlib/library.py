@@ -13,7 +13,9 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.charlib.fitting import PolynomialFit
+import numpy as np
+
+from repro.charlib.fitting import PolynomialFit, predict_many_grouped
 
 SINGLE_FUNCTIONS = ("buffer_delay", "wire_delay", "wire_slew")
 BRANCH_FUNCTIONS = (
@@ -56,6 +58,23 @@ class BranchTiming:
     @property
     def right_total(self) -> float:
         return self.buffer_delay + self.right_delay
+
+
+@dataclass(frozen=True)
+class BranchTimingBatch:
+    """Library answers for a batch of branch components (row arrays).
+
+    Row ``k`` carries bit for bit the fields a scalar
+    :meth:`DelaySlewLibrary.branch_component` call at row ``k``'s inputs
+    would return; ``buffer_delay`` is only evaluated on request (the
+    merge bisection never reads it).
+    """
+
+    left_delay: np.ndarray
+    right_delay: np.ndarray
+    left_slew: np.ndarray
+    right_slew: np.ndarray
+    buffer_delay: np.ndarray | None = None
 
 
 @dataclass(frozen=True)
@@ -238,6 +257,82 @@ class DelaySlewLibrary:
             max(1e-15, fits["left_slew"].predict(*args)),
             max(1e-15, fits["right_slew"].predict(*args)),
         )
+
+    def _branch_batch_inputs(
+        self,
+        input_slew,
+        stem_length,
+        left_lengths,
+        right_lengths,
+        left_caps,
+        right_caps,
+    ) -> np.ndarray:
+        left_lengths = np.asarray(left_lengths, dtype=float)
+        x = np.empty((left_lengths.size, 6))
+        x[:, 0] = input_slew
+        x[:, 1] = stem_length
+        x[:, 2] = left_lengths
+        x[:, 3] = np.asarray(right_lengths, dtype=float)
+        x[:, 4] = np.asarray(left_caps, dtype=float)
+        x[:, 5] = np.asarray(right_caps, dtype=float)
+        return x
+
+    def branch_component_many(
+        self,
+        drive: str,
+        input_slew,
+        stem_length,
+        left_lengths,
+        right_lengths,
+        left_caps,
+        right_caps,
+        include_buffer_delay: bool = False,
+    ) -> BranchTimingBatch:
+        """Batched :meth:`branch_component` over aligned row arrays.
+
+        ``input_slew`` and ``stem_length`` may be scalars (broadcast over
+        the batch) or arrays. Row values equal the scalar call's fields
+        bit for bit (``PolynomialFit.predict_many`` performs the scalar
+        evaluator's float ops element-wise), which is what lets the
+        lockstep commit scheduler reproduce scalar bisection trajectories.
+        """
+        fits = self.branch[drive]
+        x = self._branch_batch_inputs(
+            input_slew, stem_length, left_lengths, right_lengths, left_caps, right_caps
+        )
+        names = ["left_delay", "right_delay", "left_slew", "right_slew"]
+        if include_buffer_delay:
+            names.append("buffer_delay")
+        values = predict_many_grouped([fits[name] for name in names], x)
+        return BranchTimingBatch(
+            left_delay=np.maximum(0.0, values[0]),
+            right_delay=np.maximum(0.0, values[1]),
+            left_slew=np.maximum(1e-15, values[2]),
+            right_slew=np.maximum(1e-15, values[3]),
+            buffer_delay=(
+                np.maximum(0.0, values[4]) if include_buffer_delay else None
+            ),
+        )
+
+    def branch_slews_many(
+        self,
+        drive: str,
+        input_slew,
+        stem_length,
+        left_lengths,
+        right_lengths,
+        left_caps,
+        right_caps,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`branch_slews` over aligned row arrays."""
+        fits = self.branch[drive]
+        x = self._branch_batch_inputs(
+            input_slew, stem_length, left_lengths, right_lengths, left_caps, right_caps
+        )
+        left, right = predict_many_grouped(
+            [fits["left_slew"], fits["right_slew"]], x
+        )
+        return np.maximum(1e-15, left), np.maximum(1e-15, right)
 
     def max_single_length(self, drive: str, load: str) -> float:
         """Longest wire length covered by the (drive, load) fits."""

@@ -50,6 +50,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-pool workers for per-pair merge routing (0 = serial;"
         " results are bit-identical either way)",
     )
+    synth.add_argument(
+        "--no-batch-commit",
+        action="store_true",
+        help="commit merges with scalar timing queries instead of the"
+        " lockstep batched scheduler (bit-identical, for debugging/timing)",
+    )
     synth.add_argument("--eval-dt", type=float, default=1.0, help="sim step (ps)")
     synth.add_argument("--json", metavar="PATH", help="save tree as JSON")
     synth.add_argument("--dot", metavar="PATH", help="save tree as Graphviz DOT")
@@ -70,6 +76,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="process-pool workers for per-pair merge routing (0 = serial)",
+    )
+    bench.add_argument(
+        "--no-batch-commit",
+        action="store_true",
+        help="commit merges with scalar timing queries instead of the"
+        " lockstep batched scheduler",
     )
     return parser
 
@@ -104,6 +116,7 @@ def _cmd_synthesize(args) -> int:
         hstructure=args.hstructure,
         router=args.router,
         **({} if args.workers is None else {"workers": args.workers}),
+        **({"batch_commit": False} if args.no_batch_commit else {}),
     )
     cts = AggressiveBufferedCTS(options=options, blockages=inst.blockages or None)
     result = cts.synthesize(inst.sink_pairs(), inst.source)
@@ -158,7 +171,8 @@ def _cmd_bench(args) -> int:
 
     full = True if args.full else False
     options = CTSOptions(
-        **({} if args.workers is None else {"workers": args.workers})
+        **({} if args.workers is None else {"workers": args.workers}),
+        **({"batch_commit": False} if args.no_batch_commit else {}),
     )
     if args.table == "5.1":
         print(

@@ -30,7 +30,17 @@ from repro.core.routing_common import (
 )
 from repro.core.profile_router import route_profile
 from repro.core.maze_router import route_maze, MazeGrid
-from repro.core.binary_search import binary_search_merge, MergePosition
+from repro.core.batch_commit import (
+    BatchCommitScheduler,
+    CommitQueryStats,
+    PairCommitState,
+)
+from repro.core.binary_search import (
+    binary_search_merge,
+    MergePosition,
+    MergeSearchState,
+    ProbeRequest,
+)
 from repro.core.balance import snake_delay, SnakeResult
 from repro.core.hstructure import (
     HStructureOutcome,
@@ -66,8 +76,13 @@ __all__ = [
     "route_profile",
     "route_maze",
     "MazeGrid",
+    "BatchCommitScheduler",
+    "CommitQueryStats",
+    "PairCommitState",
     "binary_search_merge",
     "MergePosition",
+    "MergeSearchState",
+    "ProbeRequest",
     "snake_delay",
     "SnakeResult",
     "HStructureOutcome",

@@ -14,11 +14,18 @@ the detour.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from repro.charlib.library import DelaySlewLibrary
 from repro.core.options import CTSOptions
 from repro.tech.buffers import BufferLibrary
 from repro.tree.nodes import NodeKind, TreeNode, make_buffer
+
+#: Memoized per-library snake-candidate tables. The slew-feasible length
+#: scan and the per-type stage delays are pure functions of
+#: (buffer set, load type, slews, step), and snaking re-derives them for
+#: every inserted chain stage — dozens of scalar fit evaluations each.
+_CANDIDATE_CACHE: "WeakKeyDictionary[DelaySlewLibrary, dict]" = WeakKeyDictionary()
 
 
 @dataclass
@@ -74,6 +81,51 @@ def _length_for_delay(
     return (lo + hi) / 2.0
 
 
+def _snake_candidates(
+    library: DelaySlewLibrary,
+    buffers: BufferLibrary,
+    load: str,
+    input_slew: float,
+    target_slew: float,
+    step: float,
+) -> tuple[list, float]:
+    """Memoized (candidates, min increment) for one snake chain stage.
+
+    ``candidates`` rows are (buffer type, max slew-feasible length, its
+    stage delay); identical to deriving them inline (the scan is a pure
+    function of the key), just not re-derived per inserted stage.
+    """
+    cache = _CANDIDATE_CACHE.setdefault(library, {})
+    names = tuple(b.name for b in buffers)
+    key = (names, load, input_slew, target_slew, step)
+    hit = cache.get(key)
+    if hit is None:
+        rows = []
+        for buf in buffers:
+            max_len = _max_length_within_slew(
+                library, buf.name, load, input_slew, target_slew, step
+            )
+            rows.append(
+                (
+                    buf.name,
+                    max_len,
+                    _stage_delay(library, buf.name, load, input_slew, max_len),
+                )
+            )
+        min_increment = min(
+            _stage_delay(library, b.name, load, input_slew, 0.0) for b in buffers
+        )
+        hit = cache[key] = (rows, min_increment)
+    rows, min_increment = hit
+    # Hand back the *caller's* BufferType objects — the cached rows carry
+    # only names and fit-derived numbers, so a different BufferLibrary
+    # instance with the same type names shares them safely.
+    return (
+        [(buffers[name], max_len, delay) for name, max_len, delay in rows],
+        min_increment,
+    )
+
+
 def _root_load_name(library: DelaySlewLibrary, root: TreeNode, root_cap: float) -> str:
     if root.kind is NodeKind.BUFFER:
         return root.buffer.name
@@ -106,16 +158,8 @@ def snake_delay(
         load = _root_load_name(library, node, root_cap)
         remaining = delay_needed - added
         # Candidate (type, max slew-feasible length, its delay).
-        candidates = []
-        for buf in buffers:
-            max_len = _max_length_within_slew(
-                library, buf.name, load, input_slew, target_slew, options.snake_step
-            )
-            candidates.append(
-                (buf, max_len, _stage_delay(library, buf.name, load, input_slew, max_len))
-            )
-        min_increment = min(
-            _stage_delay(library, b.name, load, input_slew, 0.0) for b in buffers
+        candidates, min_increment = _snake_candidates(
+            library, buffers, load, input_slew, target_slew, options.snake_step
         )
         if remaining < min_increment * 0.5:
             break  # closer to the target without another buffer

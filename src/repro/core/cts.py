@@ -11,7 +11,7 @@ clock SOURCE.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.charlib.build import load_default_library
 from repro.charlib.library import DelaySlewLibrary
@@ -40,6 +40,10 @@ class SynthesisResult:
     n_flippings: int
     merge_stats: MergeStats
     levels: int
+    #: Wall-clock of the route and commit phases plus commit-query totals
+    #: (diagnostics — excluded from cross-mode equivalence comparisons).
+    phase_seconds: dict = field(default_factory=dict)
+    commit_queries: dict = field(default_factory=dict)
 
     def report(self) -> str:
         stats = self.tree.stats()
@@ -105,12 +109,17 @@ class AggressiveBufferedCTS:
                 n_levels += 1
                 pairs, seed = greedy_matching(level, center, self._cost)
                 next_level: list[SubTree] = [seed] if seed else []
-                if (
+                use_pool = (
                     executor is not None
                     and len(pairs) >= self.options.parallel_min_level_size
-                ):
-                    merged_level, level_flips = self._merge_level_parallel(
-                        executor, pairs
+                )
+                use_batch = (
+                    self.options.batch_commit
+                    and len(pairs) >= self.options.batch_commit_min_pairs
+                )
+                if use_pool or use_batch:
+                    merged_level, level_flips = self._merge_level_swept(
+                        executor if use_pool else None, pairs, use_batch
                     )
                     n_flips += level_flips
                     next_level.extend(merged_level)
@@ -139,6 +148,8 @@ class AggressiveBufferedCTS:
             n_flippings=n_flips,
             merge_stats=self.router.stats,
             levels=n_levels,
+            phase_seconds=dict(self.router.phase_seconds),
+            commit_queries=self.router.commit_queries.as_dict(),
         )
 
     # ------------------------------------------------------------------
@@ -165,17 +176,23 @@ class AggressiveBufferedCTS:
             self.parallel_fallback_reason = f"{type(exc).__name__}: {exc}"
             return None
 
-    def _merge_level_parallel(
-        self, executor, pairs: list[tuple[SubTree, SubTree]]
+    def _merge_level_swept(
+        self,
+        executor,
+        pairs: list[tuple[SubTree, SubTree]],
+        batch_commit: bool,
     ) -> tuple[list[SubTree], int]:
-        """Merge one level with the route phase fanned out to the pool.
+        """Merge one level in phase sweeps instead of pair by pair.
 
         Three sweeps, each in pair order: (1) the stateful prepare phase
         (H-structure pairs take the full serial path here, since their
         re-pairing decisions interleave routing); (2) the pure route
-        phase, batched across workers; (3) the stateful commit phase.
+        phase — fanned out to the worker pool when ``executor`` is given,
+        in-process otherwise; (3) the stateful commit phase — every
+        pair's commit state machine advanced in lockstep by the batched
+        scheduler when ``batch_commit``, scalar pair by pair otherwise.
         Afterwards the level's nodes are renumbered into serial creation
-        order so the result is bit-identical to the serial flow.
+        order so the result is bit-identical to the fully serial flow.
         """
         from repro.core.parallel_merge import (
             renumber_subtrees,
@@ -196,24 +213,33 @@ class AggressiveBufferedCTS:
                 prepared.append(("plan", (a, b, self.router.prepare(a.root, b.root))))
             spans.append([(start, peek_node_id())])
 
-        routes = executor.route_plans(
-            [
-                payload[2] if kind == "plan" else None
-                for kind, payload in prepared
+        plans = [
+            payload[2] if kind == "plan" else None
+            for kind, payload in prepared
+        ]
+        if executor is not None:
+            t0 = time.perf_counter()
+            routes = executor.route_plans(plans)
+            self.router.phase_seconds["route"] += time.perf_counter() - t0
+        else:
+            routes = [
+                None if plan is None else self.router.route_plan(plan)
+                for plan in plans
             ]
-        )
+
+        if batch_commit:
+            roots = self._commit_level_batched(prepared, routes, spans)
+        else:
+            roots = self._commit_level_scalar(prepared, routes, spans)
 
         merged_level: list[SubTree] = []
         level_roots: list[TreeNode] = []
         for i, (kind, payload) in enumerate(prepared):
-            start = peek_node_id()
             if kind == "done":
                 subtrees = payload
             else:
-                a, b, plan = payload
-                root = self.router.commit(plan, routes[i])
-                subtrees = [self._subtree(root, (a.root, b.root))]
-            spans[i].append((start, peek_node_id()))
+                a, b, __ = payload
+                subtrees = [self._subtree(roots[i], (a.root, b.root))]
             merged_level.extend(subtrees)
             level_roots.extend(s.root for s in subtrees)
 
@@ -221,6 +247,56 @@ class AggressiveBufferedCTS:
             level_roots, serial_id_mapping(base, spans), self.engine
         )
         return merged_level, n_flips
+
+    def _commit_level_scalar(
+        self, prepared, routes, spans
+    ) -> dict[int, TreeNode]:
+        """Commit a swept level pair by pair (the PR 2 protocol)."""
+        roots: dict[int, TreeNode] = {}
+        for i, (kind, payload) in enumerate(prepared):
+            if kind != "plan":
+                continue
+            start = peek_node_id()
+            __, __, plan = payload
+            roots[i] = self.router.commit(plan, routes[i])
+            spans[i].append((start, peek_node_id()))
+        return roots
+
+    def _commit_level_batched(
+        self, prepared, routes, spans
+    ) -> dict[int, TreeNode]:
+        """Commit a swept level in lockstep through the batched scheduler.
+
+        Chain materialization (``commit_prepare``) happens in pair order;
+        the scheduler then advances all state machines together, one
+        vectorized library round per step, recording the id span every
+        node-creating advance consumed so the serial renumbering covers
+        the interleaved creation order.
+        """
+        from repro.core.batch_commit import BatchCommitScheduler
+
+        t0 = time.perf_counter()
+        states: list = []
+        order: list[int] = []
+        for i, (kind, payload) in enumerate(prepared):
+            if kind != "plan":
+                continue
+            start = peek_node_id()
+            __, __, plan = payload
+            states.append(self.router.commit_prepare(plan, routes[i]))
+            end = peek_node_id()
+            if end > start:
+                spans[i].append((start, end))
+            order.append(i)
+        BatchCommitScheduler(self.router).run(
+            states, spans=[spans[i] for i in order]
+        )
+        roots = {
+            i: self.router.commit_finish(states[pos])
+            for pos, i in enumerate(order)
+        }
+        self.router.phase_seconds["commit"] += time.perf_counter() - t0
+        return roots
 
     # ------------------------------------------------------------------
 

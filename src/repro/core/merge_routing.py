@@ -14,15 +14,24 @@ This module orchestrates one merge of two sub-trees:
    with the library and violations fixed by corrective buffer insertion;
    merges whose collapsed unbuffered capacitance grew too large get a
    buffer immediately above them (keeping stages library-shaped).
+
+Stages 3 and 4 are implemented as a resumable per-pair state machine
+(:class:`repro.core.batch_commit.PairCommitState`): :meth:`MergeRouter.commit`
+drives one machine with scalar probes, while the top-level flow can run
+:meth:`MergeRouter.commit_prepare` for every pair of a topology level and
+advance all machines in lockstep through the batched scheduler
+(:class:`repro.core.batch_commit.BatchCommitScheduler`), answering each
+step's probes with one vectorized library round.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, fields
 
 from repro.charlib.library import DelaySlewLibrary
 from repro.core.balance import snake_delay
-from repro.core.binary_search import binary_search_merge
+from repro.core.batch_commit import CommitQueryStats, PairCommitState
 from repro.core.maze_router import route_maze
 from repro.core.options import CTSOptions
 from repro.core.profile_router import route_profile
@@ -37,7 +46,6 @@ from repro.core.routing_common import (
 from repro.core.segment_builder import PathBuilder, SegmentTables
 from repro.geom.bbox import BBox
 from repro.geom.point import Point
-from repro.geom.segment import PathPolyline
 from repro.tech.buffers import BufferLibrary, BufferType
 from repro.tech.technology import Technology
 from repro.timing.analysis import LibraryTimingEngine, SubtreeBounds
@@ -82,6 +90,12 @@ class MergePlan:
     coincident: bool
     term1: RouteTerminal | None = None
     term2: RouteTerminal | None = None
+    #: Balance-snaking diagnostics of the prepare phase. Applied to the
+    #: router stats by the pair's commit finish (with the commit phase's
+    #: own snake deltas), so the floating-point accumulation order is
+    #: pair-ordered in every execution mode.
+    n_snaked: int = 0
+    snaked_delay: float = 0.0
 
 
 def route_pair(
@@ -128,6 +142,15 @@ class MergeRouter:
             largest
         )
         self._virtual = options.virtual_drive or library.buffer_names[-1]
+        # Branch fits clamp beyond their trained length range and would be
+        # silently optimistic there; such wires are violations by fiat.
+        self._branch_hi = float(
+            library.branch[self._virtual]["left_slew"].hi[2]
+        ) * 1.001
+        #: Commit-phase query totals (scalar and batched drivers).
+        self.commit_queries = CommitQueryStats()
+        #: Wall-clock spent in the route and commit phases.
+        self.phase_seconds = {"route": 0.0, "commit": 0.0}
         self._delay_per_unit = self._calibrate_delay_per_unit()
 
     # ------------------------------------------------------------------
@@ -190,40 +213,66 @@ class MergeRouter:
         self.stats.n_merges += 1
         if root1.location.manhattan_to(root2.location) <= 1e-9:
             return MergePlan(root1, root2, True)
-        root1, root2 = self._balance(root1, root2)
+        root1, root2, added_delay = self._balance(root1, root2)
         return MergePlan(
             root1,
             root2,
             False,
             self.terminal_for(root1),
             self.terminal_for(root2),
+            n_snaked=0 if added_delay is None else 1,
+            snaked_delay=0.0 if added_delay is None else added_delay,
         )
 
     def route_plan(self, plan: MergePlan) -> RouteResult | None:
         """Route a prepared merge in-process (None for coincident pairs)."""
         if plan.coincident:
             return None
-        return route_pair(
-            plan.term1,
-            plan.term2,
-            self.library,
-            self.options,
-            self.stage_length,
-            self.blockages,
-        )
+        t0 = time.perf_counter()
+        try:
+            return route_pair(
+                plan.term1,
+                plan.term2,
+                self.library,
+                self.options,
+                self.stage_length,
+                self.blockages,
+            )
+        finally:
+            self.phase_seconds["route"] += time.perf_counter() - t0
 
     def commit(self, plan: MergePlan, route: RouteResult | None) -> TreeNode:
         """Stateful post-route phase: materialize, search, repair.
 
         ``route`` may come from another process with detached terminals;
         the plan's terminals (which hold the live nodes) are re-bound
-        before materialization.
+        before materialization. This scalar driver and the lockstep
+        batched driver walk the same state machine, so their results are
+        bit-identical.
         """
-        if plan.coincident:
-            return self._merge_coincident(plan.root1, plan.root2)
-        route.left.terminal = plan.term1
-        route.right.terminal = plan.term2
-        return self._commit(route)
+        t0 = time.perf_counter()
+        try:
+            state = self.commit_prepare(plan, route)
+            state.run_scalar()
+            return self.commit_finish(state)
+        finally:
+            self.phase_seconds["commit"] += time.perf_counter() - t0
+
+    def commit_prepare(
+        self, plan: MergePlan, route: RouteResult | None
+    ) -> PairCommitState:
+        """Start one pair's commit: materialize chains, arm the search.
+
+        The returned state machine is ready for probe-driven advancement
+        (:class:`~repro.core.batch_commit.BatchCommitScheduler` for the
+        batched level path, :meth:`PairCommitState.run_scalar` for the
+        scalar path); :meth:`commit_finish` collects the merged root.
+        """
+        return PairCommitState(self, plan, route)
+
+    def commit_finish(self, state: PairCommitState) -> TreeNode:
+        """Collect the merged root of a finished commit state machine."""
+        return state.finish()
 
     def _merge_coincident(self, root1: TreeNode, root2: TreeNode) -> TreeNode:
         merge = make_merge(root1.location)
@@ -231,11 +280,18 @@ class MergeRouter:
         merge.attach(root2, 0.0)
         return self._maybe_force_stage_buffer(merge)
 
-    def _balance(self, root1: TreeNode, root2: TreeNode) -> tuple[TreeNode, TreeNode]:
+    def _balance(
+        self, root1: TreeNode, root2: TreeNode
+    ) -> tuple[TreeNode, TreeNode, float | None]:
         """Wire-snake above the faster root when routing cannot absorb the
-        delay difference (Sec. 4.2.1)."""
+        delay difference (Sec. 4.2.1).
+
+        Returns the (possibly re-rooted) sides and the added snake delay
+        (``None`` when no snaking happened). Stats are deferred to the
+        pair's commit finish via the plan — see :class:`MergePlan`.
+        """
         if not self.options.enable_balance:
-            return root1, root2
+            return root1, root2, None
         b1 = self.subtree_bounds(root1)
         b2 = self.subtree_bounds(root2)
         dist = root1.location.manhattan_to(root2.location)
@@ -243,7 +299,7 @@ class MergeRouter:
         diff = b1.max_delay - b2.max_delay
         shortfall = abs(diff) - absorbable
         if shortfall <= 0:
-            return root1, root2
+            return root1, root2, None
         fast = root2 if diff > 0 else root1
         result = snake_delay(
             fast,
@@ -253,12 +309,10 @@ class MergeRouter:
             self.options,
             self.root_stage_cap(fast),
         )
-        if result.n_buffers:
-            self.stats.n_snaked += 1
-            self.stats.snaked_delay += result.added_delay
+        added = result.added_delay if result.n_buffers else None
         if diff > 0:
-            return root1, result.new_root
-        return result.new_root, root2
+            return root1, result.new_root, added
+        return result.new_root, root2, added
 
     def route_trunk(self, root: TreeNode, source_point: Point) -> tuple[TreeNode, float]:
         """Buffered path from the final tree root to the clock source.
@@ -321,132 +375,64 @@ class MergeRouter:
             self.stats.n_route_buffers += 1
         return node, arc_prev
 
-    def _commit(self, route: RouteResult) -> TreeNode:
-        v1, arc1 = self._materialize_chain(route.left)
-        v2, arc2 = self._materialize_chain(route.right)
-        span = route.left.polyline.subpath(arc1, route.left.polyline.length).concat(
-            route.right.polyline.subpath(arc2, route.right.polyline.length).reversed()
-        )
-        # Corrective buffer insertion (slew repair) changes one side's
-        # delay after the balance was found, so search, repair and
-        # re-balance iterate; residual imbalance that the span cannot
-        # absorb (search pinned at an extreme) is wire-snaked away.
-        merge = None
-        for round_idx in range(5):
-            position = binary_search_merge(
-                self.engine,
-                self._virtual,
-                self.options.target_slew,
-                v1,
-                v2,
-                span,
-                self.options.binary_search_iters,
-                self.options.binary_search_tol,
-                self.options.enable_binary_search,
-                slew_target=self.options.target_slew,
-            )
-            self.stats.binary_search_iters += position.iterations
-            residual = position.delay_difference
-            pinned = position.ratio <= 1e-9 or position.ratio >= 1.0 - 1e-9
-            if (
-                round_idx < 4
-                and pinned
-                and self.options.enable_balance
-                and abs(residual) > 2.0e-12
-            ):
-                fast = v2 if residual > 0 else v1
-                snaked = snake_delay(
-                    fast,
-                    abs(residual),
-                    self.library,
-                    self.buffers,
-                    self.options,
-                    self.engine._load_cap_of(fast),
-                )
-                if snaked.n_buffers:
-                    self.stats.n_snaked += 1
-                    self.stats.snaked_delay += snaked.added_delay
-                    if residual > 0:
-                        v2 = snaked.new_root
-                    else:
-                        v1 = snaked.new_root
-                    continue
-            # Re-balanced spans are straight lines that can cut through a
-            # blockage; keep the merge node itself outside any macro.
-            merge = make_merge(self._nudge_off_blockages(position.location))
-            merge.attach(
-                v1, max(position.left_length, merge.location.manhattan_to(v1.location))
-            )
-            merge.attach(
-                v2, max(position.right_length, merge.location.manhattan_to(v2.location))
-            )
-            inserted = self._fix_branch_slews(merge)
-            if not inserted or round_idx == 4:
-                break
-            # Re-balance between the new fixed nodes (corrective buffers
-            # or the originals); the old merge node is discarded.
-            new_v1, new_v2 = merge.children
-            v1 = new_v1.detach()
-            v2 = new_v2.detach()
-            mid = merge.location
-            points = [v1.location]
-            if mid != v1.location and mid != v2.location:
-                points.append(mid)
-            points.append(v2.location)
-            span = PathPolyline(points)
-        return self._maybe_force_stage_buffer(merge)
-
     # ------------------------------------------------------------------
     # Slew repair and stage-size control
     # ------------------------------------------------------------------
 
-    def _fix_branch_slews(
-        self, merge: TreeNode, drive: str | None = None, max_rounds: int = 8
-    ) -> int:
-        """Corrective insertion when the merged *branch* violates the target.
+    def _snake_residual(
+        self, v1: TreeNode, v2: TreeNode, residual: float
+    ) -> tuple[TreeNode, TreeNode, float | None]:
+        """Wire-snake away residual imbalance a pinned search left behind.
 
-        Routing checked each side as a single-wire component; the merged
-        stage is a branch component whose shared driver sees both sides'
-        load, so slews can degrade past the target. Violating sides get a
-        buffer spliced into their final wire, sized/positioned by the same
-        closest-to-target rule as the router.
+        Returns the (possibly re-rooted) side nodes plus the added snake
+        delay, or ``None`` when snaking was skipped (shortfall below one
+        buffer increment). Stats are NOT updated here — the commit state
+        machine defers them to its finish so the floating-point
+        accumulation order stays pair-ordered (and hence bit-identical)
+        no matter how the lockstep scheduler interleaves pairs.
+        """
+        fast = v2 if residual > 0 else v1
+        snaked = snake_delay(
+            fast,
+            abs(residual),
+            self.library,
+            self.buffers,
+            self.options,
+            self.engine._load_cap_of(fast),
+        )
+        if not snaked.n_buffers:
+            return v1, v2, None
+        if residual > 0:
+            return v1, snaked.new_root, snaked.added_delay
+        return snaked.new_root, v2, snaked.added_delay
+
+    def _worst_slew_side(
+        self, merge: TreeNode, branch_left: float, branch_right: float
+    ) -> TreeNode | None:
+        """The child whose branch slew violates the target worst, if any.
+
+        ``branch_left``/``branch_right`` are the library's branch-slew
+        answers for the merge's current children (evaluated by the scalar
+        or the batched driver); wires beyond the fits' trained length
+        range are violations by fiat (the clamped fit would be silently
+        optimistic there).
         """
         target = self.options.target_slew
-        drive = drive or self._virtual
-        inserted = 0
-        # Branch fits clamp beyond their trained length range and would be
-        # silently optimistic there; such wires are violations by fiat.
-        branch_hi = float(self.library.branch[drive]["left_slew"].hi[2]) * 1.001
-        for _ in range(max_rounds):
-            left, right = merge.children
-            branch_left, branch_right = self.library.branch_slews(
-                drive,
-                target,
-                0.0,
-                left.wire_to_parent,
-                right.wire_to_parent,
-                self.engine._load_cap_of(left),
-                self.engine._load_cap_of(right),
-            )
-            left_slew = (
-                float("inf") if left.wire_to_parent > branch_hi else branch_left
-            )
-            right_slew = (
-                float("inf") if right.wire_to_parent > branch_hi else branch_right
-            )
-            worst_side = None
-            if left_slew > target:
-                worst_side = left
-            if right_slew > target and (
-                worst_side is None or right_slew > left_slew
-            ):
-                worst_side = right
-            if worst_side is None:
-                return inserted
-            if not self._split_wire(merge, worst_side):
-                return inserted
-            inserted += 1
-        return inserted
+        left, right = merge.children
+        left_slew = (
+            float("inf") if left.wire_to_parent > self._branch_hi else branch_left
+        )
+        right_slew = (
+            float("inf")
+            if right.wire_to_parent > self._branch_hi
+            else branch_right
+        )
+        worst_side = None
+        if left_slew > target:
+            worst_side = left
+        if right_slew > target and (worst_side is None or right_slew > left_slew):
+            worst_side = right
+        return worst_side
 
     def _split_wire(self, merge: TreeNode, child: TreeNode) -> bool:
         """Insert a buffer into the wire merge->child (intelligent sizing)."""

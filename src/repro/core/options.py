@@ -11,6 +11,15 @@ def _default_workers() -> int:
     return int(os.environ.get("REPRO_WORKERS", "0") or 0)
 
 
+def _default_batch_commit() -> bool:
+    """Honor ``REPRO_BATCH_COMMIT`` so CI can exercise the scalar fallback."""
+    return os.environ.get("REPRO_BATCH_COMMIT", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
 @dataclass
 class CTSOptions:
     """Knobs of the paper's flow, with the paper's defaults.
@@ -55,6 +64,13 @@ class CTSOptions:
     #   0 = auto (level pairs spread over ~4 batches per worker)
     parallel_min_level_size: int = 8  # smallest pair count per topology
     #   level worth the IPC of the parallel path; smaller levels run serial
+    # --- batched commit phase --------------------------------------------
+    batch_commit: bool = field(default_factory=_default_batch_commit)
+    #   advance a level's merge commits in lockstep, answering each step's
+    #   timing queries with one vectorized library round (bit-identical to
+    #   the scalar fallback; env REPRO_BATCH_COMMIT=0 disables the default)
+    batch_commit_min_pairs: int = 4  # smallest pair count per topology
+    #   level worth the lockstep bookkeeping; smaller levels commit scalar
     # --- misc ------------------------------------------------------------
     virtual_drive: str | None = None  # assumed driver type (default largest)
     source_slew: float = 60.0e-12  # slew of the ideal ramp at the clock source
@@ -76,6 +92,8 @@ class CTSOptions:
             raise ValueError("merge_batch_size must be >= 0")
         if self.parallel_min_level_size < 1:
             raise ValueError("parallel_min_level_size must be >= 1")
+        if self.batch_commit_min_pairs < 1:
+            raise ValueError("batch_commit_min_pairs must be >= 1")
 
     @property
     def target_slew(self) -> float:

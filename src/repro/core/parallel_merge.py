@@ -14,7 +14,10 @@ embarrassingly parallel. This module runs it on a
   that the vectorized engine made a single route cheap;
 - results are gathered **in submission order** and indexed back to their
   pair, so the main process commits them in exactly the serial
-  sequence regardless of worker scheduling.
+  sequence regardless of worker scheduling — either scalar pair by pair
+  or, with ``CTSOptions.batch_commit``, through the lockstep batched
+  commit scheduler (:mod:`repro.core.batch_commit`): route in the pool,
+  commit batched in the parent.
 
 Routing is a pure function of its inputs (`route_pair`), and the library
 pickle round-trip re-derives its compiled evaluators from identical

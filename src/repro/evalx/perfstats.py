@@ -12,7 +12,11 @@ full synthesis runs with two engines:
 - ``parallel``: the vectorized engine with the per-pair route phase
   fanned out to a ``PARALLEL_WORKERS``-process pool (bit-identical
   trees; timed at sizes >= ``PARALLEL_MIN_SINKS`` where batching can
-  amortize the IPC).
+  amortize the IPC);
+- ``scalar-commit``: the vectorized engine with the lockstep batched
+  commit phase disabled (``batch_commit=False``) — the scalar fallback
+  the batched commit is measured against (bit-identical trees; timed at
+  sizes >= ``BATCH_COMMIT_MIN_SINKS``).
 
 ``collect_scaling`` produces a JSON-ready payload with per-scenario
 seconds and reference/vectorized speedups; ``write_scaling_json`` emits
@@ -58,6 +62,9 @@ PARALLEL_WORKERS = 2
 #: Smallest ladder size at which serial-vs-parallel is timed (below this
 #: the per-merge cost is too small for process-pool IPC to amortize).
 PARALLEL_MIN_SINKS = 1000
+
+#: Smallest ladder size at which batched-vs-scalar commit is timed.
+BATCH_COMMIT_MIN_SINKS = 1000
 
 #: Sink density: die edge grows with sqrt(n) so merge spans stay realistic.
 AREA_PER_SQRT_SINK = 1200.0
@@ -213,13 +220,18 @@ def time_synthesis(
     strictly additive, so the minimum is the honest estimate).
     """
     sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    # Every engine pins its knobs explicitly so REPRO_WORKERS /
+    # REPRO_BATCH_COMMIT in the environment cannot silently change what a
+    # row measures: serial rows must stay serial (the reference engine's
+    # monkeypatches would not propagate into pool workers), the
+    # reference/scalar-commit rows exist to measure the lockstep
+    # scheduler OFF, and the vectorized/parallel rows to measure it ON.
     if engine == "parallel":
-        options = CTSOptions(workers=PARALLEL_WORKERS)
+        options = CTSOptions(workers=PARALLEL_WORKERS, batch_commit=True)
+    elif engine in ("reference", "scalar-commit"):
+        options = CTSOptions(workers=0, batch_commit=False)
     else:
-        # Pin workers=0 so REPRO_WORKERS cannot silently parallelize the
-        # serial rows (the reference engine's monkeypatches in particular
-        # would not propagate into pool workers).
-        options = CTSOptions(workers=0)
+        options = CTSOptions(workers=0, batch_commit=True)
 
     def run() -> dict:
         best = None
@@ -234,11 +246,20 @@ def time_synthesis(
                 best = (seconds, result)
         seconds, result = best
         stats = result.tree.stats()
+        queries = result.commit_queries
         return {
             "n_sinks": n_sinks,
             "blockages": with_blockages,
             "engine": engine,
             "seconds": seconds,
+            "route_s": result.phase_seconds.get("route"),
+            "commit_s": result.phase_seconds.get("commit"),
+            "commit_probes": queries.get("search_probes", 0)
+            + queries.get("clamp_probes", 0)
+            + queries.get("repair_probes", 0),
+            "commit_batch_rounds": queries.get("batched_rounds", 0),
+            "commit_batch_rows": queries.get("batched_rows", 0),
+            "commit_mean_batch_rows": queries.get("mean_batch_rows", 0.0),
             "levels": result.levels,
             "merges": result.merge_stats.n_merges,
             "buffers": stats["n_buffers"],
@@ -248,7 +269,7 @@ def time_synthesis(
     if engine == "reference":
         with reference_engine():
             return run()
-    if engine not in ("vectorized", "parallel"):
+    if engine not in ("vectorized", "parallel", "scalar-commit"):
         raise ValueError(f"unknown engine {engine!r}")
     return run()
 
@@ -270,6 +291,7 @@ def collect_scaling(
     samples: list[dict] = []
     speedups: list[dict] = []
     parallel_speedups: list[dict] = []
+    commit_speedups: list[dict] = []
     for with_blockages in (False, True):
         for n in sizes:
             vec = time_synthesis(n, with_blockages, "vectorized", seed, repeats=2)
@@ -285,6 +307,22 @@ def collect_scaling(
                         "serial_s": vec["seconds"],
                         "parallel_s": par["seconds"],
                         "speedup": vec["seconds"] / par["seconds"],
+                    }
+                )
+            if n >= BATCH_COMMIT_MIN_SINKS:
+                sc = time_synthesis(
+                    n, with_blockages, "scalar-commit", seed, repeats=2
+                )
+                samples.append(sc)
+                commit_speedups.append(
+                    {
+                        "n_sinks": n,
+                        "blockages": with_blockages,
+                        "scalar_commit_s": sc["commit_s"],
+                        "batched_commit_s": vec["commit_s"],
+                        "commit_speedup": sc["commit_s"] / vec["commit_s"],
+                        "batch_rounds": vec["commit_batch_rounds"],
+                        "mean_batch_rows": vec["commit_mean_batch_rows"],
                     }
                 )
             if n <= cap:
@@ -319,6 +357,7 @@ def collect_scaling(
         "samples": samples,
         "speedups": speedups,
         "parallel_speedups": parallel_speedups,
+        "commit_speedups": commit_speedups,
     }
 
 
@@ -349,6 +388,38 @@ def parallel_equivalence(
         out[f"{label}_tree"] = tree_signature(result.tree, base)
         out[f"{label}_stats"] = result.merge_stats
         out[f"{label}_levels"] = result.levels
+    return out
+
+
+def batched_equivalence(
+    n_sinks: int = 200,
+    with_blockages: bool = True,
+    seed: int = 5,
+) -> dict:
+    """Scalar-fallback and batched-commit runs of one scenario, reduced
+    to signatures.
+
+    Like :func:`parallel_equivalence` but for the lockstep batched commit
+    phase: ``scalar_tree == batched_tree`` asserts bit-identical
+    synthesis (same bisection trajectories, same tie-breaks, same node
+    creation order after renumbering).
+    """
+    from repro.tree.export import tree_signature
+    from repro.tree.nodes import peek_node_id
+
+    sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    out: dict = {"n_sinks": n_sinks, "blockages": with_blockages}
+    for label, batch in (("scalar", False), ("batched", True)):
+        cts = AggressiveBufferedCTS(
+            options=CTSOptions(workers=0, batch_commit=batch),
+            blockages=blockages or None,
+        )
+        base = peek_node_id()
+        result = cts.synthesize(sinks, source)
+        out[f"{label}_tree"] = tree_signature(result.tree, base)
+        out[f"{label}_stats"] = result.merge_stats
+        out[f"{label}_levels"] = result.levels
+        out[f"{label}_queries"] = result.commit_queries
     return out
 
 
@@ -384,6 +455,33 @@ def render_scaling(payload: dict) -> str:
             " reference (same flow, same scenarios)"
         ),
     )
+    if payload.get("commit_speedups"):
+        commit_body = [
+            [
+                row["n_sinks"],
+                "yes" if row["blockages"] else "no",
+                round(row["scalar_commit_s"], 3),
+                round(row["batched_commit_s"], 3),
+                round(row["commit_speedup"], 2),
+                round(row["mean_batch_rows"], 1),
+            ]
+            for row in payload["commit_speedups"]
+        ]
+        table += "\n\n" + format_table(
+            [
+                "sinks",
+                "blockages",
+                "scalar commit[s]",
+                "batched commit[s]",
+                "speedup",
+                "rows/round",
+            ],
+            commit_body,
+            title=(
+                "Commit phase — scalar fallback vs lockstep batched"
+                " timing queries (bit-identical trees)"
+            ),
+        )
     if payload.get("parallel_speedups"):
         par_body = [
             [
