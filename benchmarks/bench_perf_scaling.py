@@ -21,7 +21,12 @@ Shape claims:
   the scalar fallback (checked on the 200-sink blockage scenario every
   run) and, at 1000+ sinks, commit-phase wall-clock and batch-size rows
   are recorded with the batched commit no slower than the scalar
-  fallback on the blockage scenarios.
+  fallback on the blockage scenarios;
+- shared-window routing (level-scoped grid-tile cache + cross-pair
+  batcher) produces a tree bit-identical to the per-pair-window
+  fallback (checked on the 200-sink blockage scenario every run) and,
+  at 1000+ sinks, ``route_speedups`` rows are recorded with the shared
+  path no slower than per-pair windows on the blockage scenarios.
 """
 
 import os
@@ -35,6 +40,7 @@ from repro.evalx.perfstats import (
     parallel_equivalence,
     render_scaling,
     scaling_sizes,
+    shared_equivalence,
     write_scaling_json,
 )
 
@@ -103,6 +109,25 @@ def test_perf_scaling():
                 f"{row['commit_speedup']:.2f}x"
             )
 
+    # Shared-window rows exist for every 1000+ size, the subsystem
+    # actually engaged, and the shared path never loses to its own
+    # per-pair fallback on the blockage scenarios (the acceptance
+    # comparison; measured ~1.2x at 1000 sinks on a quiet machine).
+    route_rows = {
+        (r["n_sinks"], r["blockages"]): r for r in payload["route_speedups"]
+    }
+    for n in sizes:
+        if n >= 1000:
+            assert (n, False) in route_rows and (n, True) in route_rows
+    for (n, blocked), row in route_rows.items():
+        assert row["per_pair_route_s"] > 0 and row["shared_route_s"] > 0
+        if blocked:
+            assert row["windows_served"] > 0, "shared windows never engaged"
+            assert row["route_speedup"] >= 1.0, (
+                f"shared-window routing lost to per-pair windows at {n} "
+                f"sinks: {row['route_speedup']:.2f}x"
+            )
+
 
 def test_parallel_matches_serial():
     """Parallel flow is bit-identical to serial on the 200-sink scenario."""
@@ -110,6 +135,17 @@ def test_parallel_matches_serial():
     assert payload["serial_tree"] == payload["parallel_tree"]
     assert payload["serial_stats"] == payload["parallel_stats"]
     assert payload["serial_levels"] == payload["parallel_levels"]
+
+
+def test_shared_windows_match_per_pair():
+    """Shared-window routing is bit-identical to per-pair windows (200
+    sinks, serial); the shared side actually exercised the tile cache."""
+    payload = shared_equivalence(n_sinks=200, with_blockages=True)
+    assert payload["shared_tree"] == payload["per_pair_tree"]
+    assert payload["shared_stats"] == payload["per_pair_stats"]
+    assert payload["shared_levels"] == payload["per_pair_levels"]
+    assert payload["shared_sharing"]["windows_served"] > 0
+    assert payload["per_pair_sharing"]["windows_served"] == 0
 
 
 def test_batched_commit_matches_scalar():

@@ -56,6 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="commit merges with scalar timing queries instead of the"
         " lockstep batched scheduler (bit-identical, for debugging/timing)",
     )
+    synth.add_argument(
+        "--no-shared-windows",
+        action="store_true",
+        help="route every merge over a private per-pair maze window instead"
+        " of the level-scoped shared grid-tile cache (bit-identical, for"
+        " debugging/timing)",
+    )
     synth.add_argument("--eval-dt", type=float, default=1.0, help="sim step (ps)")
     synth.add_argument("--json", metavar="PATH", help="save tree as JSON")
     synth.add_argument("--dot", metavar="PATH", help="save tree as Graphviz DOT")
@@ -82,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="commit merges with scalar timing queries instead of the"
         " lockstep batched scheduler",
+    )
+    bench.add_argument(
+        "--no-shared-windows",
+        action="store_true",
+        help="route merges over private per-pair maze windows instead of"
+        " the level-scoped shared grid-tile cache",
     )
     return parser
 
@@ -117,6 +130,7 @@ def _cmd_synthesize(args) -> int:
         router=args.router,
         **({} if args.workers is None else {"workers": args.workers}),
         **({"batch_commit": False} if args.no_batch_commit else {}),
+        **({"shared_windows": False} if args.no_shared_windows else {}),
     )
     cts = AggressiveBufferedCTS(options=options, blockages=inst.blockages or None)
     result = cts.synthesize(inst.sink_pairs(), inst.source)
@@ -173,6 +187,7 @@ def _cmd_bench(args) -> int:
     options = CTSOptions(
         **({} if args.workers is None else {"workers": args.workers}),
         **({"batch_commit": False} if args.no_batch_commit else {}),
+        **({"shared_windows": False} if args.no_shared_windows else {}),
     )
     if args.table == "5.1":
         print(

@@ -29,7 +29,8 @@ from repro.core.routing_common import (
     slew_limited_length,
 )
 from repro.core.profile_router import route_profile
-from repro.core.maze_router import route_maze, MazeGrid
+from repro.core.maze_router import route_maze, BfsEngine, BFS_ENGINE, MazeGrid
+from repro.core.grid_cache import GridCache, SharingStats, route_level
 from repro.core.batch_commit import (
     BatchCommitScheduler,
     CommitQueryStats,
@@ -75,7 +76,12 @@ __all__ = [
     "slew_limited_length",
     "route_profile",
     "route_maze",
+    "BfsEngine",
+    "BFS_ENGINE",
     "MazeGrid",
+    "GridCache",
+    "SharingStats",
+    "route_level",
     "BatchCommitScheduler",
     "CommitQueryStats",
     "PairCommitState",

@@ -18,6 +18,7 @@ from repro.charlib.library import DelaySlewLibrary
 from repro.core.hstructure import correct_pairing, reestimate_pairing
 from repro.core.merge_routing import MergeRouter, MergeStats
 from repro.core.options import CTSOptions
+from repro.core.routing_common import uses_maze_router
 from repro.core.topology import EdgeCost, SubTree, greedy_matching
 from repro.geom.bbox import BBox
 from repro.geom.point import Point, centroid
@@ -41,9 +42,11 @@ class SynthesisResult:
     merge_stats: MergeStats
     levels: int
     #: Wall-clock of the route and commit phases plus commit-query totals
-    #: (diagnostics — excluded from cross-mode equivalence comparisons).
+    #: and shared-window routing counters (diagnostics — excluded from
+    #: cross-mode equivalence comparisons).
     phase_seconds: dict = field(default_factory=dict)
     commit_queries: dict = field(default_factory=dict)
+    route_sharing: dict = field(default_factory=dict)
 
     def report(self) -> str:
         stats = self.tree.stats()
@@ -107,6 +110,7 @@ class AggressiveBufferedCTS:
         try:
             while len(level) > 1:
                 n_levels += 1
+                self.router.reset_grid_cache()
                 pairs, seed = greedy_matching(level, center, self._cost)
                 next_level: list[SubTree] = [seed] if seed else []
                 use_pool = (
@@ -117,7 +121,18 @@ class AggressiveBufferedCTS:
                     self.options.batch_commit
                     and len(pairs) >= self.options.batch_commit_min_pairs
                 )
-                if use_pool or use_batch:
+                # Shared-window routing pays from the first co-routed
+                # maze pair (one curve round either way), so any level
+                # with two routable pairs sweeps; deliberately not
+                # coupled to the commit-batching threshold. Profile-only
+                # runs have no windows to share and stay on the cheap
+                # serial loop.
+                use_shared = (
+                    self.options.shared_windows
+                    and len(pairs) >= 2
+                    and uses_maze_router(self.options, self.router.blockages)
+                )
+                if use_pool or use_batch or use_shared:
                     merged_level, level_flips = self._merge_level_swept(
                         executor if use_pool else None, pairs, use_batch
                     )
@@ -150,6 +165,7 @@ class AggressiveBufferedCTS:
             levels=n_levels,
             phase_seconds=dict(self.router.phase_seconds),
             commit_queries=self.router.commit_queries.as_dict(),
+            route_sharing=self.router.route_sharing.as_dict(),
         )
 
     # ------------------------------------------------------------------
@@ -188,7 +204,9 @@ class AggressiveBufferedCTS:
         (H-structure pairs take the full serial path here, since their
         re-pairing decisions interleave routing); (2) the pure route
         phase — fanned out to the worker pool when ``executor`` is given,
-        in-process otherwise; (3) the stateful commit phase — every
+        in-process through :meth:`MergeRouter.route_level` otherwise
+        (which batches the level through the shared-window subsystem
+        when ``shared_windows``); (3) the stateful commit phase — every
         pair's commit state machine advanced in lockstep by the batched
         scheduler when ``batch_commit``, scalar pair by pair otherwise.
         Afterwards the level's nodes are renumbered into serial creation
@@ -222,10 +240,7 @@ class AggressiveBufferedCTS:
             routes = executor.route_plans(plans)
             self.router.phase_seconds["route"] += time.perf_counter() - t0
         else:
-            routes = [
-                None if plan is None else self.router.route_plan(plan)
-                for plan in plans
-            ]
+            routes = self.router.route_level(plans)
 
         if batch_commit:
             roots = self._commit_level_batched(prepared, routes, spans)

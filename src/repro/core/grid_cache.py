@@ -1,0 +1,362 @@
+"""Shared-window routing: level-scoped grid tiles + cross-pair batching.
+
+The route phase of one topology level rasterizes, blocks and searches one
+maze window per merge pair. This module is the subsystem that shares that
+work across the level instead of throwing it away per pair:
+
+- :class:`GridCache` owns the level's **grid tiles**: each distinct
+  (window bbox, resolved pitch) key is rasterized and blocked exactly
+  once — through the same :func:`~repro.core.routing_common.build_window`
+  arithmetic as the per-pair fallback, with the pitch-coarsening decision
+  resolved by :func:`~repro.core.routing_common.coarsen_pitch` before any
+  allocation — and every later request for the key is served the cached
+  tile (mask, axes and the lazily built CSR adjacency included). Repeat
+  requests are real in the flow: H-structure correction routes the same
+  pair once per candidate pairing, and re-estimation re-routes flipped
+  pairs. Reuse, pitch-bucket and rasterization counters are kept in
+  :class:`SharingStats`.
+
+- :func:`route_level` is the **cross-pair batcher**: it advances every
+  pair of a level through the window-expansion search in lockstep rounds
+  (round = one windowing + BFS attempt for all still-unrouted pairs,
+  answered by the consolidated
+  :class:`~repro.core.maze_router.BfsEngine`), then primes every pair's
+  :class:`~repro.core.segment_builder.SegmentTables` with **one
+  vectorized curve round per level**: the (drive, load, fn) fit curves
+  every pair's profile expansion will ask for are evaluated over the
+  concatenation of all pairs' length grids and split back — one
+  ``partial_curve`` call per distinct triple instead of one per pair per
+  triple.
+
+Bit-identity contract
+---------------------
+
+Shared-window results are byte-identical to the per-pair fallback
+(``shared_windows=False``), serial or pooled:
+
+- window geometry, pitch coarsening, blockage masking and terminal
+  snapping run through the exact same functions as the fallback;
+- BFS answers are per-grid engine calls either way (stacking windows
+  into one block-diagonal csgraph call was measured and rejected — see
+  :class:`~repro.core.maze_router.BfsEngine`), and path geometry is a
+  deterministic descent of the distance field;
+- the batched curve rounds evaluate the same contracted polynomial
+  element-wise over a concatenation, so each pair's slice equals its
+  private evaluation bit for bit.
+
+Because every per-pair computation is replicated exactly and the batch
+axis only regroups element-wise work, results are also invariant to how
+pairs are split into batches — which is what makes the PR 2 worker pool
+compose: each worker batch-routes its task slice through a worker-local
+cache and the gathered level is still identical to the serial flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.charlib.library import DelaySlewLibrary
+from repro.core.maze_router import (
+    _UNREACHED,
+    both_reached,
+    finish_maze_route,
+    plan_maze_window,
+)
+from repro.core.options import CTSOptions
+from repro.core.routing_common import (
+    MAX_SEARCH_ATTEMPTS,
+    MAX_WINDOW_CELLS,
+    MazeSearch,
+    RouteResult,
+    RouteTerminal,
+    build_window,
+    coarsen_pitch,
+    grow_window,
+    snap_cells,
+    uses_maze_router,
+)
+from repro.core.segment_builder import SegmentTables
+from repro.geom.bbox import BBox
+
+
+@dataclass
+class SharingStats:
+    """Counters of the shared-window subsystem (diagnostics only).
+
+    ``pitch_buckets`` histograms the coarsening depth of served windows:
+    bucket k holds windows whose pitch was coarsened 1.5x k times by the
+    ``MAX_WINDOW_CELLS`` budget (bucket 0 = the span-derived base pitch).
+    """
+
+    windows_served: int = 0
+    tiles_built: int = 0
+    tiles_reused: int = 0
+    cells_rasterized: int = 0
+    cells_reused: int = 0
+    levels: int = 0
+    search_rounds: int = 0
+    pairs_routed: int = 0
+    curve_rounds: int = 0
+    curves_evaluated: int = 0
+    curve_points: int = 0
+    pitch_buckets: dict = field(default_factory=dict)
+
+    def note_bucket(self, steps: int) -> None:
+        self.pitch_buckets[steps] = self.pitch_buckets.get(steps, 0) + 1
+
+    def as_dict(self) -> dict:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["pitch_buckets"] = {
+            str(k): v for k, v in sorted(self.pitch_buckets.items())
+        }
+        return data
+
+
+class GridCache:
+    """Level-scoped cache of rasterized + blocked routing-grid tiles.
+
+    Keys are the exact window geometry ``(bbox corners, resolved pitch)``;
+    values are fully blocked :class:`~repro.core.maze_router.MazeGrid`
+    tiles, built once via :func:`build_window` and shared (including the
+    lazily cached CSR adjacency) by every window that resolves to the
+    same key. Tiles are immutable after construction — nothing in the
+    route flow mutates a served grid — which is what makes
+    :meth:`MazeGrid.nearest_free`'s documented fallback scan
+    deterministic no matter which pair first touched the tile.
+
+    :meth:`reset` starts a new level: tiles are dropped (windows are
+    level-scoped; keys recur within a level, not across levels, so
+    holding them longer only grows memory), counters persist.
+    """
+
+    def __init__(
+        self,
+        blockages: list[BBox] | None = None,
+        cell_cap: int = MAX_WINDOW_CELLS,
+        stats: SharingStats | None = None,
+    ):
+        self.blockages = list(blockages or [])
+        self.cell_cap = cell_cap
+        self.stats = stats if stats is not None else SharingStats()
+        self._tiles: dict[tuple, object] = {}
+
+    def reset(self) -> None:
+        """Start a new topology level (drop tiles, keep counters)."""
+        self._tiles.clear()
+        self.stats.levels += 1
+
+    def window(self, bbox: BBox, pitch: float):
+        """A blocked grid for ``bbox`` at the coarsening-resolved pitch.
+
+        Returns ``(grid, resolved_pitch)`` exactly like
+        :func:`build_window`; the only difference is that equal keys are
+        served the same tile object.
+        """
+        resolved = coarsen_pitch(bbox, pitch, self.cell_cap)
+        key = (bbox.xmin, bbox.ymin, bbox.xmax, bbox.ymax, resolved)
+        self.stats.windows_served += 1
+        grid = self._tiles.get(key)
+        if grid is None:
+            grid, _ = build_window(bbox, resolved, self.blockages, self.cell_cap)
+            self._tiles[key] = grid
+            self.stats.tiles_built += 1
+            self.stats.cells_rasterized += grid.nx * grid.ny
+            # Coarsening depth: resolved = pitch * 1.5^k.
+            steps = 0 if resolved == pitch else int(
+                round(np.log(resolved / pitch) / np.log(1.5))
+            )
+            self.stats.note_bucket(steps)
+        else:
+            self.stats.tiles_reused += 1
+            self.stats.cells_reused += grid.nx * grid.ny
+        return grid, resolved
+
+    def provider(self):
+        """The ``(bbox, pitch) -> (grid, pitch)`` hook for maze searches."""
+        return self.window
+
+
+# ----------------------------------------------------------------------
+# The cross-pair level batcher
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _PairSearch:
+    """Lockstep search state of one pair (one window-expansion attempt
+    per round until both fronts meet)."""
+
+    index: int
+    term1: RouteTerminal
+    term2: RouteTerminal
+    bbox: BBox
+    pitch: float
+    margin: float
+    search: MazeSearch | None = None
+    both: np.ndarray | None = None  # co-reached mask, reused by finish
+
+
+def _search_rounds(
+    pending: list[_PairSearch],
+    blockages: list[BBox],
+    cache: GridCache,
+    stats: SharingStats,
+) -> None:
+    """Advance all pairs through window-expansion attempts in lockstep.
+
+    Each round serves every still-unrouted pair one window (tile cache),
+    snaps its terminals, and runs its BFS pair through the consolidated
+    engine; pairs whose fronts met leave the round, the rest grow their
+    window around intersecting blockages and re-enter — the same per-pair
+    trajectory ``run_maze_search`` walks, just advanced level-wide.
+    """
+    for _ in range(MAX_SEARCH_ATTEMPTS):
+        if not pending:
+            return
+        stats.search_rounds += 1
+        still_pending: list[_PairSearch] = []
+        for job in pending:
+            grid, job.pitch = cache.window(job.bbox, job.pitch)
+            points = [job.term1.point, job.term2.point]
+            cells = snap_cells(grid, points, blockages, "terminal")
+            dists = grid.bfs_many(cells)
+            search = MazeSearch(grid, job.pitch, cells, dists)
+            if both_reached(search):
+                job.search = search
+                continue
+            grown = grow_window(job.bbox, blockages, job.margin)
+            if grown is None:
+                raise RuntimeError("terminals are disconnected by blockages")
+            job.bbox = grown
+            still_pending.append(job)
+        pending = still_pending
+    if pending:
+        raise RuntimeError("terminals are disconnected by blockages")
+
+
+def _prime_tables(
+    jobs: list[tuple[_PairSearch, SegmentTables]],
+    library: DelaySlewLibrary,
+    options: CTSOptions,
+    stats: SharingStats,
+) -> None:
+    """One vectorized curve round: prefetch every pair's initial tables.
+
+    Before its first buffer insertion, a pair's profile expansion reads,
+    per side load L: the wire-slew tables of every buffer type into L
+    (the feasibility frontier) and the virtual driver's wire-delay table
+    into L. Those (drive, load, fn) triples are known before expansion
+    starts, so they are gathered level-wide, grouped by triple, and each
+    group's contracted fit curve is evaluated once over the concatenation
+    of all requesting pairs' length prefixes. Each pair's slice is
+    byte-identical to its private evaluation (clip + Horner are
+    element-wise), so priming changes nothing but the call count.
+    Post-insertion loads (rare) fall back to the per-pair lazy path,
+    which computes the same values.
+    """
+    virtual = options.virtual_drive or library.buffer_names[-1]
+    # Groups are keyed by (triple, input slew): every table in a group
+    # shares one contracted curve, and a table whose input slew differed
+    # would land in its own group rather than be primed with the wrong
+    # curve. (The route flow constructs every SegmentTables at the slew
+    # target, so in practice there is one slew per level.)
+    requests: dict[
+        tuple[tuple[str, str, str], float], list[tuple[SegmentTables, int]]
+    ] = {}
+    for job, tables in jobs:
+        triples = []
+        for load in dict.fromkeys((job.term1.load_name, job.term2.load_name)):
+            triples.extend(
+                (drive, load, "wire_slew") for drive in library.buffer_names
+            )
+            triples.append((virtual, load, "wire_delay"))
+        for triple in dict.fromkeys(triples):
+            requests.setdefault((triple, tables.input_slew), []).append(
+                (tables, tables.eval_count(*triple))
+            )
+    if not requests:
+        return
+    stats.curve_rounds += 1
+    for ((drive, load, fn), input_slew), reqs in requests.items():
+        fit = library.single[(drive, load)][fn]
+        curve = fit.partial_curve(input_slew)
+        prefixes = [tables._lengths[:n] for tables, n in reqs]
+        values = curve(np.concatenate(prefixes))
+        stats.curves_evaluated += 1
+        stats.curve_points += values.size
+        offset = 0
+        for (tables, n), prefix in zip(reqs, prefixes):
+            tables.prime(drive, load, fn, values[offset : offset + n])
+            offset += n
+
+
+def route_level(
+    pairs: list[tuple[RouteTerminal, RouteTerminal] | None],
+    library: DelaySlewLibrary,
+    options: CTSOptions,
+    stage_length: float,
+    blockages: list[BBox],
+    cache: GridCache | None = None,
+    stats: SharingStats | None = None,
+) -> list[RouteResult | None]:
+    """Route one topology level's merge pairs through shared windows.
+
+    ``pairs`` entries may be ``None`` (coincident or otherwise unroutable
+    slots); results come back indexed like the input. Obstacle-free
+    profile routing has no windows to share and is dispatched per pair
+    unchanged; the maze path runs the lockstep search rounds, the level
+    curve round, then per-pair ranking and materialization.
+    """
+    if cache is None:
+        cache = GridCache(blockages)
+    if stats is None:
+        stats = cache.stats
+    results: list[RouteResult | None] = [None] * len(pairs)
+    if not uses_maze_router(options, blockages):
+        from repro.core.profile_router import route_profile
+
+        for i, pair in enumerate(pairs):
+            if pair is not None:
+                results[i] = route_profile(
+                    pair[0], pair[1], library, options, stage_length
+                )
+        return results
+
+    jobs: list[_PairSearch] = []
+    for i, pair in enumerate(pairs):
+        if pair is None:
+            continue
+        term1, term2 = pair
+        bbox, pitch, margin = plan_maze_window(
+            term1.point, term2.point, options, stage_length
+        )
+        jobs.append(_PairSearch(i, term1, term2, bbox, pitch, margin))
+
+    _search_rounds(list(jobs), blockages, cache, stats)
+
+    primed: list[tuple[_PairSearch, SegmentTables]] = []
+    for job in jobs:
+        dist1, dist2 = job.search.dists
+        job.both = (dist1 != _UNREACHED) & (dist2 != _UNREACHED)
+        max_k = int(max(dist1[job.both].max(), dist2[job.both].max()))
+        tables = SegmentTables(
+            library, job.search.pitch, max_k + 1, options.target_slew
+        )
+        primed.append((job, tables))
+
+    _prime_tables(primed, library, options, stats)
+
+    for job, tables in primed:
+        results[job.index] = finish_maze_route(
+            job.search,
+            job.term1,
+            job.term2,
+            library,
+            options,
+            tables,
+            both=job.both,
+        )
+        stats.pairs_routed += 1
+    return results

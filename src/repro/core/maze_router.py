@@ -12,15 +12,17 @@ With no blockages this reduces exactly to the profile router (delay is a
 function of step distance only); with blockages the BFS distances and the
 backtracked detour paths differ, which is the case this router exists for.
 
-The grid operations are vectorized: ``block`` is a coordinate-mask
-computation and ``bfs`` runs at C speed — through a directly-assembled
-CSR adjacency and :func:`scipy.sparse.csgraph.dijkstra` (unweighted =
-plain BFS) when scipy is available, and otherwise through a numpy
-frontier-dilation wave (one windowed boolean step per BFS level, parents
-reconstructed from per-direction step offsets). The original cell-by-cell
-implementations are retained as ``block_reference`` / ``bfs_reference`` —
-they define the semantics, the equivalence tests compare against them,
-and the perf harness times them as the seed baseline.
+BFS is consolidated behind one engine (:class:`BfsEngine`): the contract
+is the *distance field only*, and path geometry is derived from it by a
+deterministic descent (:meth:`MazeGrid.descend`), so every strategy —
+closed-form on unblocked grids, sparse-graph BFS through
+:func:`scipy.sparse.csgraph.breadth_first_order` with a vectorized
+pointer-doubling depth reconstruction, or the scipy-free numpy
+frontier-dilation wave — produces byte-identical routing results. The
+original cell-by-cell implementations are retained as
+``block_reference`` / ``bfs_reference``: they define the semantics, the
+equivalence tests compare against them, and the perf harness times them
+as the seed baseline.
 """
 
 from __future__ import annotations
@@ -31,10 +33,10 @@ import numpy as np
 
 try:  # scipy ships with the toolchain; the wave BFS covers its absence.
     from scipy.sparse import csr_matrix
-    from scipy.sparse.csgraph import dijkstra as _sparse_bfs
+    from scipy.sparse.csgraph import breadth_first_order as _sparse_bfs_order
 except ImportError:  # pragma: no cover - exercised only without scipy
     csr_matrix = None
-    _sparse_bfs = None
+    _sparse_bfs_order = None
 
 from repro.charlib.library import DelaySlewLibrary
 from repro.core.options import CTSOptions
@@ -53,8 +55,8 @@ from repro.geom.segment import PathPolyline
 
 _UNREACHED = -1
 
-#: 4-connected neighborhood; the order is the parent priority when a cell
-#: is reached by several frontier cells in the same wave.
+#: 4-connected neighborhood; the order is the neighbor priority of the
+#: deterministic distance-descent (:meth:`MazeGrid.descend`).
 _DIRECTIONS = ((1, 0), (-1, 0), (0, 1), (0, -1))
 
 
@@ -102,7 +104,17 @@ class MazeGrid:
         return (min(max(i, 0), self.nx - 1), min(max(j, 0), self.ny - 1))
 
     def nearest_free(self, cell: tuple[int, int]) -> tuple[int, int]:
-        """Closest unblocked cell to ``cell`` (Manhattan; ties row-major)."""
+        """Closest unblocked cell to ``cell`` (Manhattan distance).
+
+        The scan order is fixed and documented so the fallback is
+        deterministic under shared tiles: free cells are enumerated in
+        row-major order (ascending ``i``, then ascending ``j``) and ties
+        in Manhattan distance resolve to the first one enumerated — the
+        lowest ``i``, and among equal ``i`` the lowest ``j``. The choice
+        is a pure function of the blocked mask, so every window served
+        from the same tile (no matter which pair first touched it) snaps
+        an identical point to the identical cell.
+        """
         if not self.blocked[cell]:
             return cell
         ii, jj = np.nonzero(~self.blocked)
@@ -111,52 +123,41 @@ class MazeGrid:
         k = int(np.argmin(np.abs(ii - cell[0]) + np.abs(jj - cell[1])))
         return (int(ii[k]), int(jj[k]))
 
-    def bfs(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
-        """Step distances and parent indices from ``start`` (4-connected).
+    def bfs(self, start: tuple[int, int]) -> np.ndarray:
+        """BFS step distances from ``start`` (4-connected, blocked-aware).
 
-        Dispatches to the sparse-graph BFS when scipy is available and to
-        the numpy frontier-dilation wave otherwise. Both return the same
-        distance field as :meth:`bfs_reference`; parent *choices* may
-        differ between implementations (any parent one step closer to the
-        start is valid), so backtracked paths are equal-length shortest
-        paths, not necessarily identical cell sequences.
+        Dispatches through the consolidated :data:`BFS_ENGINE`. Unreached
+        (and blocked) cells hold ``-1``. Paths are recovered from the
+        distance field with :meth:`descend`, never from BFS bookkeeping,
+        so every engine strategy yields identical routing results.
         """
-        if not self._any_blocked:
-            return self.bfs_unblocked(start)
-        if _sparse_bfs is not None:
-            return self.bfs_sparse(start)
-        return self.bfs_wave(start)
+        return BFS_ENGINE.distances(self, [start])[0]
 
-    def bfs_many(
-        self, starts: list[tuple[int, int]]
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """BFS from several starts; batched when the sparse path is up."""
-        if not self._any_blocked:
-            return [self.bfs_unblocked(s) for s in starts]
-        if _sparse_bfs is not None:
-            return self.bfs_multi(starts)
-        return [self.bfs(s) for s in starts]
+    def bfs_many(self, starts: list[tuple[int, int]]) -> list[np.ndarray]:
+        """Distance fields from several starts (one engine round)."""
+        return BFS_ENGINE.distances(self, starts)
 
-    def bfs_unblocked(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
-        """Closed-form BFS for a grid with no blocked cells.
+    def bfs_reference(self, start: tuple[int, int]) -> np.ndarray:
+        """Queue-based reference implementation of :meth:`bfs`.
 
-        Distances are plain Manhattan step counts (exactly what any BFS
-        returns on an obstacle-free grid); parents encode an x-then-y
-        staircase toward the start, a valid shortest-path tree.
+        Defines the semantics every engine strategy is tested against,
+        and serves as the seed baseline the perf harness times.
         """
-        i0, j0 = start
-        di = np.arange(self.nx) - i0
-        dj = np.arange(self.ny) - j0
-        dist = np.abs(di)[:, None] + np.abs(dj)[None, :]
-        codes = np.arange(self.nx * self.ny).reshape(self.nx, self.ny)
-        step_i = np.sign(di) * self.ny  # one step along x toward the start
-        parent = np.where(
-            di[:, None] != 0,
-            codes - step_i[:, None],
-            codes - np.sign(dj)[None, :],
-        )
-        parent[start] = -1
-        return dist, parent
+        dist = np.full((self.nx, self.ny), _UNREACHED, dtype=int)
+        if self.blocked[start]:
+            raise ValueError(f"start cell {start} is blocked")
+        dist[start] = 0
+        queue = deque([start])
+        while queue:
+            i, j = queue.popleft()
+            d = dist[i, j]
+            for di, dj in _DIRECTIONS:
+                ni, nj = i + di, j + dj
+                if 0 <= ni < self.nx and 0 <= nj < self.ny:
+                    if not self.blocked[ni, nj] and dist[ni, nj] == _UNREACHED:
+                        dist[ni, nj] = d + 1
+                        queue.append((ni, nj))
+        return dist
 
     def _adjacency(self):
         """CSR adjacency of the free cells, assembled without a COO sort.
@@ -185,56 +186,142 @@ class MazeGrid:
         self._adj = csr_matrix((data, cols, indptr), shape=(n, n))
         return self._adj
 
-    def bfs_sparse(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
-        """BFS via :func:`scipy.sparse.csgraph.dijkstra` (unweighted)."""
-        return self.bfs_multi([start])[0]
+    def staircase_arrays(
+        self, start: tuple[int, int], cell: tuple[int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cell coordinates of the unblocked shortest path, as arrays.
 
-    def bfs_multi(
-        self, starts: list[tuple[int, int]]
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """One sparse BFS per start, batched into a single csgraph call
-        (amortizes the scipy validation/setup overhead, which dominates on
-        the small grids of low-level merges)."""
+        The canonical obstacle-free staircase (a y-run from the start
+        followed by an x-run), produced without any BFS at all.
+        """
+        i0, j0 = start
+        i1, j1 = cell
+        js = np.arange(j0, j1, 1 if j1 >= j0 else -1)
+        xs = np.arange(i0, i1, 1 if i1 >= i0 else -1)
+        ci = np.concatenate([np.full(js.size, i0), xs, [i1]])
+        cj = np.concatenate([js, np.full(xs.size + 1, j1)])
+        return ci, cj
+
+    def descend(
+        self, dist: np.ndarray, cell: tuple[int, int]
+    ) -> list[tuple[int, int]]:
+        """Cell sequence from the BFS start to ``cell`` (inclusive).
+
+        Walks the distance field from ``cell`` downhill (each step to a
+        neighbor one BFS level closer), taking the first qualifying
+        neighbor in the fixed ``_DIRECTIONS`` priority (+x, -x, +y, -y).
+        The path is therefore a pure, deterministic function of the
+        distance field — independent of which BFS strategy produced it —
+        which is what keeps shared-window and per-pair routing results
+        identical.
+        """
+        i, j = cell
+        d = int(dist[i, j])
+        if d < 0:
+            raise ValueError(f"cell {cell} was not reached by this BFS")
+        path = [cell]
+        while d > 0:
+            for di, dj in _DIRECTIONS:
+                ni, nj = i + di, j + dj
+                if (
+                    0 <= ni < self.nx
+                    and 0 <= nj < self.ny
+                    and dist[ni, nj] == d - 1
+                ):
+                    i, j, d = ni, nj, d - 1
+                    path.append((ni, nj))
+                    break
+            else:  # pragma: no cover - would mean an inconsistent field
+                raise RuntimeError("inconsistent BFS distance field")
+        path.reverse()
+        return path
+
+
+class BfsEngine:
+    """The consolidated maze-BFS engine (one contract, three strategies).
+
+    Consolidates the seed's five variants (``bfs`` / ``bfs_sparse`` /
+    ``bfs_wave`` / ``bfs_multi`` / ``bfs_unblocked``) behind a single
+    entry point returning distance fields only:
+
+    - :meth:`closed_form` — obstacle-free grids: the distance field is
+      the Manhattan step count, no traversal at all;
+    - :meth:`sparse` — scipy's C breadth-first traversal
+      (:func:`~scipy.sparse.csgraph.breadth_first_order`, ~6x cheaper per
+      call than ``csgraph.dijkstra`` on routing-window-sized grids) plus
+      a vectorized pointer-doubling depth reconstruction over the
+      predecessor forest;
+    - :meth:`wave` — the numpy frontier-dilation wave, for hosts without
+      scipy.
+
+    Cross-pair batching note: stacking many windows into one
+    block-diagonal graph and issuing a single multi-source csgraph call
+    was measured and *loses* — scipy initializes per-source output over
+    the whole stacked graph, so the per-call overhead saved is repaid as
+    O(pairs^2) array fills. The profitable batch axis is the lockstep
+    *round* (:func:`repro.core.grid_cache.route_level` advances every
+    pair of a level through window-expansion rounds together), with each
+    grid answered by the cheapest per-grid strategy here.
+    """
+
+    def distances(
+        self, grid: MazeGrid, starts: list[tuple[int, int]]
+    ) -> list[np.ndarray]:
+        """Distance fields from ``starts`` (the single dispatch point)."""
         for start in starts:
-            if self.blocked[start]:
+            if grid.blocked[start]:
                 raise ValueError(f"start cell {start} is blocked")
-        flat = [i * self.ny + j for i, j in starts]
-        hops, pred = _sparse_bfs(
-            self._adjacency(),
-            indices=flat,
-            unweighted=True,
-            return_predecessors=True,
-        )
-        hops = np.atleast_2d(hops)
-        pred = np.atleast_2d(pred)
-        # One fused conversion for all sources; scipy marks "no
-        # predecessor" with a different negative sentinel, and
-        # backtrack() only tests sign, so pred is reshaped as-is.
-        dists = np.where(np.isinf(hops), float(_UNREACHED), hops).astype(int)
-        return [
-            (
-                dists[row].reshape(self.nx, self.ny),
-                pred[row].reshape(self.nx, self.ny),
-            )
-            for row in range(len(starts))
-        ]
+        if not grid._any_blocked:
+            return [self.closed_form(grid, s) for s in starts]
+        if _sparse_bfs_order is not None:
+            return [self.sparse(grid, s) for s in starts]
+        return [self.wave(grid, s) for s in starts]
 
-    def bfs_wave(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    def closed_form(self, grid: MazeGrid, start: tuple[int, int]) -> np.ndarray:
+        """Manhattan step counts — exactly what BFS returns with no
+        obstacles."""
+        i0, j0 = start
+        di = np.abs(np.arange(grid.nx) - i0)
+        dj = np.abs(np.arange(grid.ny) - j0)
+        return di[:, None] + dj[None, :]
+
+    def sparse(self, grid: MazeGrid, start: tuple[int, int]) -> np.ndarray:
+        """C breadth-first traversal + vectorized depth reconstruction.
+
+        ``breadth_first_order`` returns the BFS predecessor forest; node
+        depths are recovered by pointer doubling (each round, every node
+        jumps to its pointer's pointer and accumulates the hops folded
+        into it), which is O(n log depth) in a handful of numpy passes.
+        """
+        flat = start[0] * grid.ny + start[1]
+        order, pred = _sparse_bfs_order(
+            grid._adjacency(), flat, directed=True, return_predecessors=True
+        )
+        n = grid.nx * grid.ny
+        hops = np.where(pred >= 0, 1, 0)
+        ptr = np.where(pred >= 0, pred, -1)
+        while True:
+            valid = np.flatnonzero(ptr >= 0)
+            if valid.size == 0:
+                break
+            pv = ptr[valid]
+            hops[valid] += hops[pv]
+            ptr[valid] = ptr[pv]
+        dist = np.full(n, _UNREACHED, dtype=int)
+        dist[order] = hops[order]
+        return dist.reshape(grid.nx, grid.ny)
+
+    def wave(self, grid: MazeGrid, start: tuple[int, int]) -> np.ndarray:
         """Numpy frontier-dilation BFS (the scipy-free vectorized path).
 
         Each wave shifts the current frontier mask one cell in every
-        direction and claims the still-unreached free cells; parents are
-        the encoded coordinates one step back along the claiming
-        direction. The work per wave is confined to the bounding window
-        of the frontier, so compact waves stay cheap on big grids.
+        direction and claims the still-unreached free cells. The work per
+        wave is confined to the bounding window of the frontier, so
+        compact waves stay cheap on big grids.
         """
-        if self.blocked[start]:
-            raise ValueError(f"start cell {start} is blocked")
-        nx, ny = self.nx, self.ny
+        nx, ny = grid.nx, grid.ny
         dist = np.full((nx, ny), _UNREACHED, dtype=int)
-        parent = np.full((nx, ny), -1, dtype=int)
-        codes = np.arange(nx * ny, dtype=int).reshape(nx, ny)
-        unreached = ~self.blocked
+        unreached = ~grid.blocked
         frontier = np.zeros((nx, ny), dtype=bool)
         frontier[start] = True
         unreached[start] = False
@@ -253,13 +340,9 @@ class MazeGrid:
             for di, dj in _DIRECTIONS:
                 cand = _shift(fwin, di, dj)
                 cand &= uwin
-                cand &= ~new
-                if cand.any():
-                    pwin = parent[ilo:ihi, jlo:jhi]
-                    pwin[cand] = codes[ilo:ihi, jlo:jhi][cand] - di * ny - dj
-                    new |= cand
+                new |= cand
             if not new.any():
-                return dist, parent
+                return dist
             d += 1
             dist[ilo:ihi, jlo:jhi][new] = d
             uwin &= ~new
@@ -270,55 +353,9 @@ class MazeGrid:
             ilo, ihi = ilo + rows[0], ilo + rows[-1] + 1
             jlo, jhi = jlo + cols[0], jlo + cols[-1] + 1
 
-    def bfs_reference(self, start: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
-        """Queue-based reference implementation of :meth:`bfs`."""
-        dist = np.full((self.nx, self.ny), _UNREACHED, dtype=int)
-        parent = np.full((self.nx, self.ny), -1, dtype=int)
-        if self.blocked[start]:
-            raise ValueError(f"start cell {start} is blocked")
-        dist[start] = 0
-        queue = deque([start])
-        while queue:
-            i, j = queue.popleft()
-            d = dist[i, j]
-            for di, dj in _DIRECTIONS:
-                ni, nj = i + di, j + dj
-                if 0 <= ni < self.nx and 0 <= nj < self.ny:
-                    if not self.blocked[ni, nj] and dist[ni, nj] == _UNREACHED:
-                        dist[ni, nj] = d + 1
-                        parent[ni, nj] = i * self.ny + j
-                        queue.append((ni, nj))
-        return dist, parent
 
-    def staircase_arrays(
-        self, start: tuple[int, int], cell: tuple[int, int]
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Cell coordinates of the unblocked shortest path, as arrays.
-
-        Produces exactly the sequence ``backtrack`` recovers from the
-        :meth:`bfs_unblocked` parent tree (a y-run from the start followed
-        by an x-run), without walking parent pointers.
-        """
-        i0, j0 = start
-        i1, j1 = cell
-        js = np.arange(j0, j1, 1 if j1 >= j0 else -1)
-        xs = np.arange(i0, i1, 1 if i1 >= i0 else -1)
-        ci = np.concatenate([np.full(js.size, i0), xs, [i1]])
-        cj = np.concatenate([js, np.full(xs.size + 1, j1)])
-        return ci, cj
-
-    def backtrack(
-        self, parent: np.ndarray, cell: tuple[int, int]
-    ) -> list[tuple[int, int]]:
-        """Cell sequence from the BFS start to ``cell`` (inclusive)."""
-        path = [cell]
-        i, j = cell
-        while parent[i, j] >= 0:
-            enc = parent[i, j]
-            i, j = divmod(int(enc), self.ny)
-            path.append((i, j))
-        path.reverse()
-        return path
+#: The process-wide consolidated engine :class:`MazeGrid` dispatches to.
+BFS_ENGINE = BfsEngine()
 
 
 def _shift(mask: np.ndarray, di: int, dj: int) -> np.ndarray:
@@ -364,7 +401,7 @@ def blocked_path(
         n_sources=1,
     )
     grid = search.grid
-    cells = grid.backtrack(search.parents[0], search.cells[1])
+    cells = grid.descend(search.dists[0], search.cells[1])
     points = [a] + [grid.center(i, j) for i, j in cells[1:-1]] + [b]
     return PathPolyline(_compress_polyline(points))
 
@@ -409,39 +446,59 @@ def _compress_polyline(points: list[Point]) -> list[Point]:
     return out
 
 
-def route_maze(
-    term1: RouteTerminal,
-    term2: RouteTerminal,
-    library: DelaySlewLibrary,
-    options: CTSOptions,
-    stage_length: float,
-    blockages: list[BBox] | None = None,
-) -> RouteResult:
-    """Route one merge with bidirectional maze expansion."""
-    p1, p2 = term1.point, term2.point
+def plan_maze_window(
+    p1: Point, p2: Point, options: CTSOptions, stage_length: float
+) -> tuple[BBox, float, float]:
+    """Window geometry of one maze route: (bbox, base pitch, margin).
+
+    Extracted so the shared-window level batcher and the per-pair
+    fallback derive byte-identical windows from the same arithmetic.
+    """
     dist = p1.manhattan_to(p2)
     if dist <= 0:
         raise ValueError("terminals are coincident; no routing needed")
     span = max(abs(p1.x - p2.x), abs(p1.y - p2.y), dist / 2.0)
     pitch, n_cells = choose_pitch(span, options, stage_length)
     margin = max(1.0, n_cells * options.routing_margin_ratio) * pitch
-    bbox = BBox.of_points([p1, p2]).expanded(margin)
+    return BBox.of_points([p1, p2]).expanded(margin), pitch, margin
 
-    def both_reached(search: MazeSearch) -> bool:
-        return bool(
-            ((search.dists[0] != _UNREACHED) & (search.dists[1] != _UNREACHED)).any()
-        )
 
-    search = run_maze_search(
-        [p1, p2], bbox, pitch, blockages or [], margin, both_reached
+def both_reached(search: MazeSearch) -> bool:
+    """The merge-route acceptance predicate: some cell sees both fronts."""
+    return bool(
+        ((search.dists[0] != _UNREACHED) & (search.dists[1] != _UNREACHED)).any()
     )
+
+
+def finish_maze_route(
+    search: MazeSearch,
+    term1: RouteTerminal,
+    term2: RouteTerminal,
+    library: DelaySlewLibrary,
+    options: CTSOptions,
+    tables: SegmentTables | None = None,
+    both: np.ndarray | None = None,
+) -> RouteResult:
+    """Profile evaluation, cell ranking and path materialization.
+
+    The tail of one maze route, shared by the per-pair path and the
+    level batcher. ``tables`` may be a pre-primed
+    :class:`~repro.core.segment_builder.SegmentTables` (the batcher fills
+    it with one vectorized curve round per level; its ``n_steps`` then
+    carries the co-reached maximum so nothing is recomputed) and
+    ``both`` the caller's co-reached mask; when omitted both are
+    computed here, to the same values.
+    """
     grid, pitch = search.grid, search.pitch
     dist1, dist2 = search.dists
-    parent1, parent2 = search.parents
-    both = (dist1 != _UNREACHED) & (dist2 != _UNREACHED)
+    if both is None:
+        both = (dist1 != _UNREACHED) & (dist2 != _UNREACHED)
 
-    max_k = int(max(dist1[both].max(), dist2[both].max()))
-    tables = SegmentTables(library, pitch, max_k + 1, options.target_slew)
+    if tables is None:
+        max_k = int(max(dist1[both].max(), dist2[both].max()))
+        tables = SegmentTables(library, pitch, max_k + 1, options.target_slew)
+    else:
+        max_k = tables.n_steps - 1
     builders = []
     for term in (term1, term2):
         builders.append(
@@ -482,15 +539,15 @@ def route_maze(
     meeting = grid.center(int(bi), int(bj))
     kk1, kk2 = int(k1[pick]), int(k2[pick])
 
-    def materialize(term, parent, start_cell, builder, k):
+    def materialize(term, dist, start_cell, builder, k):
         cell = (int(bi), int(bj))
         if not grid._any_blocked:
-            # Obstacle-free window: the parent tree is the analytic
-            # staircase, so skip the pointer walk entirely.
+            # Obstacle-free window: the shortest path is the analytic
+            # staircase, so skip the descent entirely.
             ci, cj = grid.staircase_arrays(start_cell, cell)
             ci, cj = ci[1:], cj[1:]
         else:
-            cells = grid.backtrack(parent, cell)[1:]
+            cells = grid.descend(dist, cell)[1:]
             ci = np.fromiter((c[0] for c in cells), dtype=float, count=len(cells))
             cj = np.fromiter((c[1] for c in cells), dtype=float, count=len(cells))
         points = _cells_polyline(grid, term.point, ci, cj)
@@ -504,8 +561,8 @@ def route_maze(
         )
 
     c1, c2 = search.cells[0], search.cells[1]
-    left = materialize(term1, parent1, c1, builders[0], kk1)
-    right = materialize(term2, parent2, c2, builders[1], kk2)
+    left = materialize(term1, dist1, c1, builders[0], kk1)
+    right = materialize(term2, dist2, c2, builders[1], kk2)
     return RouteResult(
         meeting_point=meeting,
         left=left,
@@ -514,3 +571,34 @@ def route_maze(
         est_right_delay=float(d2[pick]),
         grid_cells=max(grid.nx, grid.ny),
     )
+
+
+def route_maze(
+    term1: RouteTerminal,
+    term2: RouteTerminal,
+    library: DelaySlewLibrary,
+    options: CTSOptions,
+    stage_length: float,
+    blockages: list[BBox] | None = None,
+    grid_provider=None,
+) -> RouteResult:
+    """Route one merge with bidirectional maze expansion.
+
+    ``grid_provider`` (``(bbox, pitch) -> (grid, pitch)``) lets the
+    shared-window subsystem serve cached tiles; ``None`` rasterizes a
+    private window per call (the per-pair fallback). Results are
+    identical either way.
+    """
+    bbox, pitch, margin = plan_maze_window(
+        term1.point, term2.point, options, stage_length
+    )
+    search = run_maze_search(
+        [term1.point, term2.point],
+        bbox,
+        pitch,
+        blockages or [],
+        margin,
+        both_reached,
+        provider=grid_provider,
+    )
+    return finish_maze_route(search, term1, term2, library, options)

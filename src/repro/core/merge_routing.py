@@ -42,6 +42,7 @@ from repro.core.routing_common import (
     choose_pitch,
     l_path,
     slew_limited_length,
+    uses_maze_router,
 )
 from repro.core.segment_builder import PathBuilder, SegmentTables
 from repro.geom.bbox import BBox
@@ -105,15 +106,27 @@ def route_pair(
     options: CTSOptions,
     stage_length: float,
     blockages: list[BBox],
+    grid_provider=None,
 ) -> RouteResult:
     """The pure route phase of one merge: terminals in, route out.
 
     Deterministic in its arguments, touches no shared state, and needs
     only the scalar terminal fields — this is the function parallel
-    workers execute (:mod:`repro.core.parallel_merge`).
+    workers execute (:mod:`repro.core.parallel_merge`). ``grid_provider``
+    optionally serves maze windows from a shared tile cache
+    (:class:`repro.core.grid_cache.GridCache`); results are identical
+    with or without it.
     """
-    if options.router == "maze" or blockages:
-        return route_maze(term1, term2, library, options, stage_length, blockages)
+    if uses_maze_router(options, blockages):
+        return route_maze(
+            term1,
+            term2,
+            library,
+            options,
+            stage_length,
+            blockages,
+            grid_provider=grid_provider,
+        )
     return route_profile(term1, term2, library, options, stage_length)
 
 
@@ -151,6 +164,16 @@ class MergeRouter:
         self.commit_queries = CommitQueryStats()
         #: Wall-clock spent in the route and commit phases.
         self.phase_seconds = {"route": 0.0, "commit": 0.0}
+        #: Shared-window subsystem counters (in-process routing only;
+        #: pool workers keep their own and drop them with the process).
+        from repro.core.grid_cache import GridCache, SharingStats
+
+        self.route_sharing = SharingStats()
+        self._grid_cache = (
+            GridCache(self.blockages, stats=self.route_sharing)
+            if options.shared_windows
+            else None
+        )
         self._delay_per_unit = self._calibrate_delay_per_unit()
 
     # ------------------------------------------------------------------
@@ -224,8 +247,24 @@ class MergeRouter:
             snaked_delay=0.0 if added_delay is None else added_delay,
         )
 
+    def reset_grid_cache(self) -> None:
+        """Start a new topology level's tile scope (no-op per-pair mode).
+
+        Called by the flow once per level — regardless of whether the
+        level routes in-process, through the batcher, or in the worker
+        pool — so tiles cached by ``route_plan``'s provider (H-structure
+        candidate routing, small levels) never accumulate across levels.
+        """
+        if self._grid_cache is not None:
+            self._grid_cache.reset()
+
     def route_plan(self, plan: MergePlan) -> RouteResult | None:
-        """Route a prepared merge in-process (None for coincident pairs)."""
+        """Route a prepared merge in-process (None for coincident pairs).
+
+        With ``shared_windows`` the window comes from the router's tile
+        cache (H-structure candidate routing re-requests the same window
+        up to three times per pair); results are identical either way.
+        """
         if plan.coincident:
             return None
         t0 = time.perf_counter()
@@ -237,6 +276,44 @@ class MergeRouter:
                 self.options,
                 self.stage_length,
                 self.blockages,
+                grid_provider=(
+                    self._grid_cache.provider() if self._grid_cache else None
+                ),
+            )
+        finally:
+            self.phase_seconds["route"] += time.perf_counter() - t0
+
+    def route_level(
+        self, plans: list[MergePlan | None]
+    ) -> list[RouteResult | None]:
+        """Route a swept level's plans in-process, sharing windows.
+
+        The shared-window path (``CTSOptions.shared_windows``, the
+        default) routes the whole level through the cross-pair batcher
+        over a fresh level scope of the tile cache; the per-pair fallback
+        routes plan by plan. Both produce byte-identical results — the
+        knob only changes how much work is shared.
+        """
+        if self._grid_cache is None:
+            return [
+                None if plan is None else self.route_plan(plan)
+                for plan in plans
+            ]
+        from repro.core.grid_cache import route_level as shared_route_level
+
+        t0 = time.perf_counter()
+        try:
+            pairs = [
+                None if plan is None or plan.coincident else (plan.term1, plan.term2)
+                for plan in plans
+            ]
+            return shared_route_level(
+                pairs,
+                self.library,
+                self.options,
+                self.stage_length,
+                self.blockages,
+                cache=self._grid_cache,
             )
         finally:
             self.phase_seconds["route"] += time.perf_counter() - t0

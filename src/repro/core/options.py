@@ -20,6 +20,16 @@ def _default_batch_commit() -> bool:
     )
 
 
+def _default_shared_windows() -> bool:
+    """Honor ``REPRO_SHARED_WINDOWS`` so CI can exercise the per-pair
+    window fallback."""
+    return os.environ.get("REPRO_SHARED_WINDOWS", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
 @dataclass
 class CTSOptions:
     """Knobs of the paper's flow, with the paper's defaults.
@@ -71,6 +81,12 @@ class CTSOptions:
     #   the scalar fallback; env REPRO_BATCH_COMMIT=0 disables the default)
     batch_commit_min_pairs: int = 4  # smallest pair count per topology
     #   level worth the lockstep bookkeeping; smaller levels commit scalar
+    # --- shared-window routing -------------------------------------------
+    shared_windows: bool = field(default_factory=_default_shared_windows)
+    #   route each topology level through the level-scoped grid-tile cache
+    #   and cross-pair batcher (repro.core.grid_cache) instead of private
+    #   per-pair maze windows (bit-identical to the per-pair fallback; env
+    #   REPRO_SHARED_WINDOWS=0 disables the default)
     # --- misc ------------------------------------------------------------
     virtual_drive: str | None = None  # assumed driver type (default largest)
     source_slew: float = 60.0e-12  # slew of the ideal ramp at the clock source

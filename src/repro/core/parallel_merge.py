@@ -73,13 +73,34 @@ def _init_worker(ctx_bytes: bytes) -> None:
     _CTX = pickle.loads(ctx_bytes)
 
 
-def _route_batch(
+def _route_tasks(
+    ctx: "WorkerContext",
     tasks: list[tuple[int, RouteTerminal, RouteTerminal]],
 ) -> list[tuple[int, RouteResult]]:
-    """Route one batch of (pair index, terminal, terminal) tasks."""
-    ctx = _CTX
-    if ctx is None:  # pragma: no cover - initializer always ran
-        raise RuntimeError("merge-routing worker used before initialization")
+    """Route one batch of (pair index, terminal, terminal) tasks.
+
+    With ``shared_windows`` the batch routes through the cross-pair
+    batcher over a batch-local tile cache: the pairs of one worker batch
+    share tiles, lockstep search rounds and the level curve round among
+    themselves instead of each rebuilding private windows. Because the
+    shared path replicates every per-pair computation exactly (batching
+    only regroups element-wise work), results are invariant to the batch
+    split and identical to the serial flow — shipping parent-built tiles
+    instead was measured as a wash, since window keys are pair-unique and
+    a pickled tile costs about as much as rasterizing it.
+    """
+    if ctx.options.shared_windows:
+        from repro.core.grid_cache import GridCache, route_level
+
+        routes = route_level(
+            [(term1, term2) for _, term1, term2 in tasks],
+            ctx.library,
+            ctx.options,
+            ctx.stage_length,
+            ctx.blockages,
+            cache=GridCache(ctx.blockages),
+        )
+        return [(index, route) for (index, _, _), route in zip(tasks, routes)]
     return [
         (
             index,
@@ -94,6 +115,16 @@ def _route_batch(
         )
         for index, term1, term2 in tasks
     ]
+
+
+def _route_batch(
+    tasks: list[tuple[int, RouteTerminal, RouteTerminal]],
+) -> list[tuple[int, RouteResult]]:
+    """Worker entry point: route one shipped batch with the worker ctx."""
+    ctx = _CTX
+    if ctx is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("merge-routing worker used before initialization")
+    return _route_tasks(ctx, tasks)
 
 
 def _pool_context():
@@ -188,16 +219,8 @@ class ParallelMergeExecutor:
         if pool is None:
             if self._fallback_ctx is None:
                 self._fallback_ctx = pickle.loads(self._ctx_bytes)
-            ctx = self._fallback_ctx
-            for index, term1, term2 in tasks:
-                results[index] = route_pair(
-                    term1,
-                    term2,
-                    ctx.library,
-                    ctx.options,
-                    ctx.stage_length,
-                    ctx.blockages,
-                )
+            for index, route in _route_tasks(self._fallback_ctx, tasks):
+                results[index] = route
             return results
         size = self._batch_size_for(len(tasks))
         futures = [

@@ -21,6 +21,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Per-window cell budget; above it the pitch is coarsened 1.5x at a time.
 MAX_WINDOW_CELLS = 80_000
 
+#: Window-expansion attempts before terminals count as disconnected —
+#: one retry budget shared by the per-pair search loop and the
+#: shared-window level batcher (they must agree or bit-identity breaks).
+MAX_SEARCH_ATTEMPTS = 4
+
+
+def uses_maze_router(options, blockages) -> bool:
+    """Whether a merge routes through the maze router (vs the profile
+    router) — the one dispatch predicate shared by ``route_pair``, the
+    level batcher and the flow's sweep gating."""
+    return options.router == "maze" or bool(blockages)
+
 
 @dataclass
 class RouteTerminal:
@@ -145,7 +157,92 @@ class MazeSearch:
     pitch: float
     cells: list[tuple[int, int]]  # grid cells of the input points, in order
     dists: list[np.ndarray]  # BFS step distances, one per source
-    parents: list[np.ndarray]  # BFS parent encodings, one per source
+
+
+def coarsen_pitch(bbox: BBox, pitch: float, cell_cap: int = MAX_WINDOW_CELLS) -> float:
+    """The ``MAX_WINDOW_CELLS`` pitch-coarsening decision, as arithmetic.
+
+    Replicates (float operation for float operation) the seed's loop of
+    building a grid and coarsening 1.5x while the cell count exceeds the
+    cap — without allocating the thrown-away grids. Both the per-pair
+    fallback and the shared-window tile cache resolve window pitches
+    through this one function, so their coarsening decisions are
+    identical by construction.
+    """
+    nx = int(np.ceil(bbox.width / pitch)) + 1
+    ny = int(np.ceil(bbox.height / pitch)) + 1
+    while nx * ny > cell_cap:
+        pitch *= 1.5
+        nx = int(np.ceil(bbox.width / pitch)) + 1
+        ny = int(np.ceil(bbox.height / pitch)) + 1
+    return pitch
+
+
+def covering_blockages(grid: "MazeGrid", blockages: list[BBox]) -> list[BBox]:
+    """The blockages that can mark at least one cell center of ``grid``.
+
+    Cell centers span ``[xmin, xmin + (nx-1)*pitch] x [ymin, ...]`` (the
+    ceil-sized grid overhangs its bbox by up to one pitch); a region
+    outside that cover is an exact no-op for :meth:`MazeGrid.block`, so
+    filtering it out leaves the blocked mask byte-identical. Order is
+    preserved.
+    """
+    x_hi = grid.bbox.xmin + (grid.nx - 1) * grid.pitch
+    y_hi = grid.bbox.ymin + (grid.ny - 1) * grid.pitch
+    return [
+        region
+        for region in blockages
+        if region.xmax >= grid.bbox.xmin
+        and region.xmin <= x_hi
+        and region.ymax >= grid.bbox.ymin
+        and region.ymin <= y_hi
+    ]
+
+
+def build_window(
+    bbox: BBox,
+    pitch: float,
+    blockages: list[BBox],
+    cell_cap: int = MAX_WINDOW_CELLS,
+):
+    """Rasterize + block one routing window (the per-pair fallback path).
+
+    Returns ``(grid, resolved_pitch)``. The shared-window subsystem
+    (:class:`repro.core.grid_cache.GridCache`) wraps this same function
+    behind a tile cache, so a cached window and a freshly built one are
+    the same object graph.
+    """
+    from repro.core.maze_router import MazeGrid  # deferred: avoids an import cycle
+
+    pitch = coarsen_pitch(bbox, pitch, cell_cap)
+    grid = MazeGrid(bbox, pitch)
+    for region in covering_blockages(grid, blockages):
+        grid.block(region)
+    return grid, pitch
+
+
+def snap_cells(
+    grid: "MazeGrid",
+    points: list[Point],
+    blockages: list[BBox],
+    what: str = "terminal",
+) -> list[tuple[int, int]]:
+    """Quantize ``points`` onto free grid cells (shared snap logic).
+
+    A point whose quantized cell landed inside a blockage (coarse pitch)
+    snaps to the nearest free cell via the documented deterministic
+    fallback scan (:meth:`MazeGrid.nearest_free`); a point genuinely
+    inside a blockage raises.
+    """
+    cells = []
+    for p in points:
+        cell = grid.nearest(p)
+        if grid.blocked[cell]:
+            if any(region.contains(p) for region in blockages):
+                raise ValueError(f"a {what} lies inside a blockage")
+            cell = grid.nearest_free(cell)
+        cells.append(cell)
+    return cells
 
 
 def run_maze_search(
@@ -157,8 +254,9 @@ def run_maze_search(
     reachable: Callable[[MazeSearch], bool],
     what: str = "terminal",
     n_sources: int | None = None,
-    max_attempts: int = 4,
+    max_attempts: int = MAX_SEARCH_ATTEMPTS,
     cell_cap: int = MAX_WINDOW_CELLS,
+    provider=None,
 ) -> MazeSearch:
     """The window-expansion / pitch-coarsening loop shared by maze routes.
 
@@ -168,32 +266,21 @@ def run_maze_search(
     ``reachable`` says so; otherwise the window grows around intersecting
     blockages (:func:`grow_window`) and the search retries. When no growth
     is possible the points are genuinely disconnected.
-    """
-    from repro.core.maze_router import MazeGrid  # deferred: avoids an import cycle
 
+    ``provider`` (``(bbox, pitch) -> (grid, pitch)``) substitutes the
+    shared-window tile cache for the private :func:`build_window`; both
+    produce identical grids, the cache just reuses them across requests.
+    """
     if n_sources is None:
         n_sources = len(points)
     for _ in range(max_attempts):
-        grid = MazeGrid(bbox, pitch)
-        while grid.nx * grid.ny > cell_cap:
-            pitch *= 1.5
-            grid = MazeGrid(bbox, pitch)
-        for region in blockages:
-            grid.block(region)
-        cells = []
-        for p in points:
-            cell = grid.nearest(p)
-            if grid.blocked[cell]:
-                if any(region.contains(p) for region in blockages):
-                    raise ValueError(f"a {what} lies inside a blockage")
-                # The point is legal; only its quantized cell landed inside
-                # a blockage (coarse pitch). Snap to the nearest free cell.
-                cell = grid.nearest_free(cell)
-            cells.append(cell)
-        results = grid.bfs_many(cells[:n_sources])
-        dists = [d for d, _ in results]
-        parents = [p for _, p in results]
-        search = MazeSearch(grid, pitch, cells, dists, parents)
+        if provider is not None:
+            grid, pitch = provider(bbox, pitch)
+        else:
+            grid, pitch = build_window(bbox, pitch, blockages, cell_cap)
+        cells = snap_cells(grid, points, blockages, what)
+        dists = grid.bfs_many(cells[:n_sources])
+        search = MazeSearch(grid, pitch, cells, dists)
         if reachable(search):
             return search
         grown = grow_window(bbox, blockages, margin)

@@ -100,32 +100,61 @@ class SegmentTables:
         self._delay_cache: dict[tuple[str, str], np.ndarray] = {}
         self._lengths = np.arange(n_steps + 1) * step
 
+    def eval_count(self, drive: str, load: str, fn: str) -> int:
+        """How many leading length points a table genuinely evaluates.
+
+        Lengths past the fit's range all clamp to the range edge and
+        evaluate to the same value, so only the in-range prefix (plus one
+        clamped point) is evaluated; the tail is filled with it. Exposed
+        so the shared-window level batcher can gather exactly this prefix
+        from every pair into one vectorized curve round.
+        """
+        fit = self.library.single[(drive, load)][fn]
+        return min(
+            int(np.searchsorted(self._lengths, float(fit.hi[1]))) + 1,
+            self._lengths.size,
+        )
+
+    def prime(self, drive: str, load: str, fn: str, values: np.ndarray) -> None:
+        """Install a table from its evaluated prefix (batched fill path).
+
+        ``values`` must be the contracted-curve evaluation over
+        ``lengths[:eval_count(...)]`` — exactly what :meth:`_table`
+        computes itself — so a primed table is byte-identical to a lazily
+        built one; the batcher merely evaluates many pairs' prefixes in
+        one call.
+        """
+        self._cache[(drive, load, fn)] = self._assemble(drive, load, fn, values)
+
+    def _assemble(
+        self, drive: str, load: str, fn: str, values: np.ndarray
+    ) -> np.ndarray:
+        """Tail-fill the evaluated prefix and mask out-of-range slews."""
+        fit = self.library.single[(drive, load)][fn]
+        table = values
+        if table.size < self._lengths.size:
+            table = np.concatenate(
+                [table, np.full(self._lengths.size - table.size, table[-1])]
+            )
+        if fn == "wire_slew":
+            # Beyond the characterized length range the fit would
+            # clamp (silently optimistic); mark those entries
+            # infeasible so buffer insertion never relies on them.
+            beyond = self._lengths > float(fit.hi[1]) * 1.001
+            table = np.where(beyond, np.inf, table)
+        return table
+
     def _table(self, drive: str, load: str, fn: str) -> np.ndarray:
         key = (drive, load, fn)
         table = self._cache.get(key)
         if table is None:
             fit = self.library.single[(drive, load)][fn]
-            # Lengths past the fit's range all clamp to the range edge and
-            # evaluate to the same value, so only the in-range prefix (plus
-            # one clamped point) is evaluated; the tail is filled with it.
-            n_eval = min(
-                int(np.searchsorted(self._lengths, float(fit.hi[1]))) + 1,
-                self._lengths.size,
-            )
+            n_eval = self.eval_count(drive, load, fn)
             # One contracted-curve evaluation (the input slew is fixed for
             # the whole table, so the 2-var fit collapses to a Horner
             # polynomial in length, shared across every merge's tables).
-            table = fit.partial_curve(self.input_slew)(self._lengths[:n_eval])
-            if n_eval < self._lengths.size:
-                table = np.concatenate(
-                    [table, np.full(self._lengths.size - n_eval, table[-1])]
-                )
-            if fn == "wire_slew":
-                # Beyond the characterized length range the fit would
-                # clamp (silently optimistic); mark those entries
-                # infeasible so buffer insertion never relies on them.
-                beyond = self._lengths > float(fit.hi[1]) * 1.001
-                table = np.where(beyond, np.inf, table)
+            values = fit.partial_curve(self.input_slew)(self._lengths[:n_eval])
+            table = self._assemble(drive, load, fn, values)
             self._cache[key] = table
         return table
 

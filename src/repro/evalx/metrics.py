@@ -12,6 +12,7 @@ SPICE".
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.spice.stages import simulate_stage
@@ -40,6 +41,10 @@ class TreeMetrics:
     sink_arrivals: dict[str, float] = field(default_factory=dict)
     runtime: float = 0.0  # wall-clock seconds of the evaluation
     method: str = "spice"
+    #: Sinks whose simulated waveform saturated below the logic threshold
+    #: (badly slewed baseline trees): skipped from skew/latency with a
+    #: per-node warning instead of aborting the whole evaluation.
+    skipped_sinks: list[str] = field(default_factory=list)
 
     def row(self) -> dict:
         """Flat dict with ps-scaled values, for table rendering."""
@@ -50,6 +55,7 @@ class TreeMetrics:
             "latency_ns": self.latency * 1e9,
             "buffers": self.n_buffers,
             "wirelength": self.wirelength,
+            "skipped_sinks": len(self.skipped_sinks),
         }
 
 
@@ -75,6 +81,7 @@ def evaluate_tree(
 
     worst_slew = 0.0
     arrivals: dict[str, float] = {}
+    skipped: list[str] = []
     queue: list[tuple[TreeNode, Waveform]] = [(root, source_wave)]
     while queue:
         stage_root, wave_in = queue.pop()
@@ -107,16 +114,36 @@ def evaluate_tree(
             if tree_node is stage_root:
                 continue
             if tree_node.kind is NodeKind.SINK:
-                arrivals[tree_node.name] = (
-                    sim.waveform(node_id).cross_time(threshold) - t_ref
-                )
+                wave = sim.waveform(node_id)
+                try:
+                    arrivals[tree_node.name] = wave.cross_time(threshold) - t_ref
+                except ValueError:
+                    # A badly slewed stage (unbuffered baselines at harsh
+                    # scales) can saturate below the logic threshold; the
+                    # sink is electrically unusable but the rest of the
+                    # tree is still measurable. Skip-and-report instead
+                    # of aborting the whole evaluation.
+                    skipped.append(tree_node.name)
+                    warnings.warn(
+                        f"sink {tree_node.name}: simulated waveform "
+                        f"saturates at {wave.v_final:.3f} V, below the "
+                        f"{threshold:.3f} V logic threshold; excluded "
+                        "from skew/latency",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             elif tree_node.kind is NodeKind.BUFFER:
                 queue.append((tree_node, sim.trimmed_waveform(node_id)))
 
     sinks = root.sinks()
-    if set(arrivals) != {s.name for s in sinks}:
-        missing = {s.name for s in sinks} - set(arrivals)
+    if set(arrivals) | set(skipped) != {s.name for s in sinks}:
+        missing = {s.name for s in sinks} - set(arrivals) - set(skipped)
         raise RuntimeError(f"sinks not reached by simulation: {sorted(missing)}")
+    if not arrivals:
+        raise RuntimeError(
+            "no sink waveform crossed the logic threshold; the tree is"
+            " electrically dead"
+        )
     values = list(arrivals.values())
     return TreeMetrics(
         n_sinks=len(sinks),
@@ -129,6 +156,7 @@ def evaluate_tree(
         sink_arrivals=arrivals,
         runtime=time.perf_counter() - t0,
         method="spice",
+        skipped_sinks=skipped,
     )
 
 

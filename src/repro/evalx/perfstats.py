@@ -16,7 +16,13 @@ full synthesis runs with two engines:
 - ``scalar-commit``: the vectorized engine with the lockstep batched
   commit phase disabled (``batch_commit=False``) — the scalar fallback
   the batched commit is measured against (bit-identical trees; timed at
-  sizes >= ``BATCH_COMMIT_MIN_SINKS``).
+  sizes >= ``BATCH_COMMIT_MIN_SINKS``);
+- ``per-pair-windows``: the vectorized engine with shared-window routing
+  disabled (``shared_windows=False``) — every merge rasterizes and
+  searches a private maze window, the fallback the level-scoped grid
+  cache + cross-pair batcher is measured against (bit-identical trees;
+  timed at sizes >= ``SHARED_WINDOWS_MIN_SINKS``, and the source of the
+  ``route_speedups`` rows).
 
 ``collect_scaling`` produces a JSON-ready payload with per-scenario
 seconds and reference/vectorized speedups; ``write_scaling_json`` emits
@@ -42,6 +48,7 @@ import repro.core.cts as cts_mod
 import repro.core.maze_router as maze_router_mod
 import repro.core.merge_routing as merge_routing_mod
 import repro.core.profile_router as profile_router_mod
+import repro.core.routing_common as routing_common_mod
 from repro.benchio.generator import clustered_instance
 from repro.core import topology
 from repro.core.cts import AggressiveBufferedCTS
@@ -65,6 +72,9 @@ PARALLEL_MIN_SINKS = 1000
 
 #: Smallest ladder size at which batched-vs-scalar commit is timed.
 BATCH_COMMIT_MIN_SINKS = 1000
+
+#: Smallest ladder size at which shared-vs-per-pair windows is timed.
+SHARED_WINDOWS_MIN_SINKS = 1000
 
 #: Sink density: die edge grows with sqrt(n) so merge spans stay realistic.
 AREA_PER_SQRT_SINK = 1200.0
@@ -170,10 +180,15 @@ def reference_engine():
         [(m.PathBuilder, m.SegmentTables) for m in builder_mods],
         [getattr(DelaySlewLibrary, name) for name in lib_partials],
     )
+    saved_covering = routing_common_mod.covering_blockages
     saved_lib_cache = dict(charlib_build._DEFAULT_CACHE)
     MazeGrid.bfs = MazeGrid.bfs_reference
     MazeGrid.bfs_many = lambda self, starts: [self.bfs(s) for s in starts]
     MazeGrid.block = MazeGrid.block_reference
+    # The seed blocked every region against every window (no cell-cover
+    # prefilter); bypass the exact-no-op filter so the baseline pays the
+    # seed's cost faithfully.
+    routing_common_mod.covering_blockages = lambda grid, blockages: list(blockages)
     cts_mod.greedy_matching = topology.greedy_matching_reference
     fitting.COMPILE_SCALAR = False
     # The default-library cache holds fits built with compiled evaluators;
@@ -198,6 +213,7 @@ def reference_engine():
             builders,
             partials,
         ) = saved
+        routing_common_mod.covering_blockages = saved_covering
         for mod, (pb, st) in zip(builder_mods, builders):
             mod.PathBuilder = pb
             mod.SegmentTables = st
@@ -221,17 +237,24 @@ def time_synthesis(
     """
     sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
     # Every engine pins its knobs explicitly so REPRO_WORKERS /
-    # REPRO_BATCH_COMMIT in the environment cannot silently change what a
-    # row measures: serial rows must stay serial (the reference engine's
-    # monkeypatches would not propagate into pool workers), the
-    # reference/scalar-commit rows exist to measure the lockstep
-    # scheduler OFF, and the vectorized/parallel rows to measure it ON.
+    # REPRO_BATCH_COMMIT / REPRO_SHARED_WINDOWS in the environment cannot
+    # silently change what a row measures: serial rows must stay serial
+    # (the reference engine's monkeypatches would not propagate into pool
+    # workers), the reference/scalar-commit/per-pair-windows rows exist
+    # to measure their respective subsystem OFF, and the
+    # vectorized/parallel rows to measure everything ON.
     if engine == "parallel":
-        options = CTSOptions(workers=PARALLEL_WORKERS, batch_commit=True)
-    elif engine in ("reference", "scalar-commit"):
-        options = CTSOptions(workers=0, batch_commit=False)
+        options = CTSOptions(
+            workers=PARALLEL_WORKERS, batch_commit=True, shared_windows=True
+        )
+    elif engine == "reference":
+        options = CTSOptions(workers=0, batch_commit=False, shared_windows=False)
+    elif engine == "scalar-commit":
+        options = CTSOptions(workers=0, batch_commit=False, shared_windows=True)
+    elif engine == "per-pair-windows":
+        options = CTSOptions(workers=0, batch_commit=True, shared_windows=False)
     else:
-        options = CTSOptions(workers=0, batch_commit=True)
+        options = CTSOptions(workers=0, batch_commit=True, shared_windows=True)
 
     def run() -> dict:
         best = None
@@ -264,12 +287,18 @@ def time_synthesis(
             "merges": result.merge_stats.n_merges,
             "buffers": stats["n_buffers"],
             "wirelength": stats["wirelength"],
+            "route_sharing": result.route_sharing,
         }
 
     if engine == "reference":
         with reference_engine():
             return run()
-    if engine not in ("vectorized", "parallel", "scalar-commit"):
+    if engine not in (
+        "vectorized",
+        "parallel",
+        "scalar-commit",
+        "per-pair-windows",
+    ):
         raise ValueError(f"unknown engine {engine!r}")
     return run()
 
@@ -292,10 +321,50 @@ def collect_scaling(
     speedups: list[dict] = []
     parallel_speedups: list[dict] = []
     commit_speedups: list[dict] = []
+    route_speedups: list[dict] = []
     for with_blockages in (False, True):
         for n in sizes:
             vec = time_synthesis(n, with_blockages, "vectorized", seed, repeats=2)
             samples.append(vec)
+            if n >= SHARED_WINDOWS_MIN_SINKS:
+                pp = time_synthesis(
+                    n, with_blockages, "per-pair-windows", seed, repeats=2
+                )
+                samples.append(pp)
+                # The route comparison is a sub-second interval, so slow
+                # machine drift between two distant measurements swamps
+                # it; time the two engines in alternating rounds and take
+                # each side's best so the drift cancels.
+                shared_route = vec["route_s"]
+                per_pair_route = pp["route_s"]
+                for __ in range(2):
+                    shared_route = min(
+                        shared_route,
+                        time_synthesis(n, with_blockages, "vectorized", seed)[
+                            "route_s"
+                        ],
+                    )
+                    per_pair_route = min(
+                        per_pair_route,
+                        time_synthesis(
+                            n, with_blockages, "per-pair-windows", seed
+                        )["route_s"],
+                    )
+                sharing = vec.get("route_sharing", {})
+                route_speedups.append(
+                    {
+                        "n_sinks": n,
+                        "blockages": with_blockages,
+                        "per_pair_route_s": per_pair_route,
+                        "shared_route_s": shared_route,
+                        "route_speedup": per_pair_route / shared_route,
+                        "windows_served": sharing.get("windows_served", 0),
+                        "tiles_built": sharing.get("tiles_built", 0),
+                        "tiles_reused": sharing.get("tiles_reused", 0),
+                        "curve_rounds": sharing.get("curve_rounds", 0),
+                        "pitch_buckets": sharing.get("pitch_buckets", {}),
+                    }
+                )
             if n >= PARALLEL_MIN_SINKS:
                 par = time_synthesis(n, with_blockages, "parallel", seed, repeats=2)
                 samples.append(par)
@@ -358,6 +427,7 @@ def collect_scaling(
         "speedups": speedups,
         "parallel_speedups": parallel_speedups,
         "commit_speedups": commit_speedups,
+        "route_speedups": route_speedups,
     }
 
 
@@ -423,6 +493,42 @@ def batched_equivalence(
     return out
 
 
+def shared_equivalence(
+    n_sinks: int = 200,
+    with_blockages: bool = True,
+    workers: int = 0,
+    seed: int = 5,
+) -> dict:
+    """Shared-window and per-pair-window runs of one scenario, reduced to
+    signatures.
+
+    Like :func:`parallel_equivalence` but for the shared-window routing
+    subsystem: ``shared_tree == per_pair_tree`` asserts bit-identical
+    synthesis (same windows, same BFS distance fields, same descent
+    geometry, same table values). Pass ``workers`` to run the shared side
+    through the PR 2 pool as well.
+    """
+    from repro.tree.export import tree_signature
+    from repro.tree.nodes import peek_node_id
+
+    sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    out: dict = {"n_sinks": n_sinks, "blockages": with_blockages}
+    for label, shared in (("shared", True), ("per_pair", False)):
+        cts = AggressiveBufferedCTS(
+            options=CTSOptions(
+                workers=workers if shared else 0, shared_windows=shared
+            ),
+            blockages=blockages or None,
+        )
+        base = peek_node_id()
+        result = cts.synthesize(sinks, source)
+        out[f"{label}_tree"] = tree_signature(result.tree, base)
+        out[f"{label}_stats"] = result.merge_stats
+        out[f"{label}_levels"] = result.levels
+        out[f"{label}_sharing"] = result.route_sharing
+    return out
+
+
 def write_scaling_json(payload: dict, results_dir: str | Path | None = None) -> Path:
     """Emit ``BENCH_cts_scaling.json`` under ``benchmarks/results``."""
     if results_dir is None:
@@ -455,6 +561,35 @@ def render_scaling(payload: dict) -> str:
             " reference (same flow, same scenarios)"
         ),
     )
+    if payload.get("route_speedups"):
+        route_body = [
+            [
+                row["n_sinks"],
+                "yes" if row["blockages"] else "no",
+                round(row["per_pair_route_s"], 3),
+                round(row["shared_route_s"], 3),
+                round(row["route_speedup"], 2),
+                row["windows_served"],
+                row["tiles_reused"],
+            ]
+            for row in payload["route_speedups"]
+        ]
+        table += "\n\n" + format_table(
+            [
+                "sinks",
+                "blockages",
+                "per-pair route[s]",
+                "shared route[s]",
+                "speedup",
+                "windows",
+                "tile reuse",
+            ],
+            route_body,
+            title=(
+                "Route phase — per-pair windows vs level-scoped shared"
+                " grid cache + cross-pair batcher (bit-identical trees)"
+            ),
+        )
     if payload.get("commit_speedups"):
         commit_body = [
             [

@@ -15,6 +15,7 @@ from pathlib import Path
 
 #: Presentation order and headlines for the known experiment artifacts.
 SECTIONS = [
+    ("perf_scaling", "Performance — CTS synthesis scaling"),
     ("table_5_1", "Table 5.1 — GSRC benchmarks"),
     ("table_5_2", "Table 5.2 — ISPD 2009 benchmarks"),
     ("table_5_3", "Table 5.3 — H-structure corrections"),

@@ -31,6 +31,70 @@ def tiny_tree():
     return ClockTree.from_network(Point(1500, 120), root)
 
 
+class TestSaturatingWaveformGuard:
+    """A sink whose waveform never crosses the logic threshold is skipped
+    and reported instead of aborting the evaluation (the ``bench --table
+    5.1 --scale 30`` regression: a merge-buffer baseline tree saturates
+    below threshold at that scale)."""
+
+    @pytest.fixture()
+    def flat_tree(self):
+        s_a = make_sink(Point(0, 0), 8e-15, "sA")
+        s_b = make_sink(Point(3000, 0), 8e-15, "sB")
+        merge = make_merge(Point(1500, 0))
+        merge.attach(s_a)
+        merge.attach(s_b)
+        return ClockTree.from_network(Point(1500, 120), merge)
+
+    def _stub_sim(self, monkeypatch, tree, tech, saturating):
+        """Replace the stage simulation with synthetic waveforms: sinks in
+        ``saturating`` settle at 0.3 Vdd (never crossing the 0.5 Vdd
+        threshold), the rest ramp cleanly to the rail."""
+        import repro.evalx.metrics as metrics_mod
+        from repro.timing.waveform import Waveform
+        from repro.tree.stages_map import stage_spec_for
+
+        __, id_map = stage_spec_for(tree.root, tech)
+        vdd = tech.vdd
+        times = [0.0, 100e-12, 200e-12]
+
+        def wave_for(node_id):
+            node = id_map[node_id]
+            if node.name in saturating:
+                return Waveform(times, [0.0, 0.3 * vdd, 0.3 * vdd])
+            return Waveform(times, [0.0, vdd, vdd])
+
+        class FakeSim:
+            def waveform(self, node_id):
+                return wave_for(node_id)
+
+            def worst_slew(self):
+                return 40e-12
+
+        monkeypatch.setattr(
+            metrics_mod, "simulate_stage", lambda *a, **k: FakeSim()
+        )
+
+    def test_saturating_sink_skipped_and_reported(
+        self, flat_tree, tech, monkeypatch
+    ):
+        self._stub_sim(monkeypatch, flat_tree, tech, saturating={"sB"})
+        with pytest.warns(RuntimeWarning, match="sB.*saturates"):
+            metrics = evaluate_tree(flat_tree, tech)
+        assert metrics.skipped_sinks == ["sB"]
+        assert set(metrics.sink_arrivals) == {"sA"}
+        assert metrics.row()["skipped_sinks"] == 1
+        # skew/latency computed over the measured sink alone
+        assert metrics.skew == 0.0
+        assert metrics.latency == metrics.sink_arrivals["sA"]
+
+    def test_all_sinks_saturating_raises(self, flat_tree, tech, monkeypatch):
+        self._stub_sim(monkeypatch, flat_tree, tech, saturating={"sA", "sB"})
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(RuntimeError, match="electrically dead"):
+                evaluate_tree(flat_tree, tech)
+
+
 class TestEvaluateTree:
     def test_fields_consistent(self, tiny_tree, tech):
         metrics = evaluate_tree(tiny_tree, tech)

@@ -3,11 +3,12 @@
 The contract of the vectorized rewrite (maze BFS, blocking, matching):
 
 - ``block`` marks exactly the same cells as the cell-by-cell reference;
-- both vectorized BFS paths (sparse-graph and frontier-dilation wave)
-  produce distance fields identical to the queue reference;
-- backtracked paths are parents-consistent shortest paths (each step
-  adjacent, length equal to the BFS distance) — parent *choices* may
-  differ, the distances may not;
+- every strategy of the consolidated BFS engine (closed-form, sparse
+  breadth-first + depth reconstruction, frontier-dilation wave) produces
+  distance fields bit-identical to the queue reference;
+- descent paths are distance-consistent shortest paths (each step
+  adjacent and one BFS level closer), identical for every strategy
+  because they are a pure function of the distance field;
 - ``route_maze`` picks the identical merge cell (it depends only on the
   distance fields) with identical per-side step counts;
 - the bucketed ``greedy_matching`` returns the exact same pairs and seed
@@ -17,7 +18,7 @@ The contract of the vectorized rewrite (maze BFS, blocking, matching):
 import numpy as np
 import pytest
 
-from repro.core.maze_router import MazeGrid, route_maze
+from repro.core.maze_router import BFS_ENGINE, MazeGrid, route_maze
 from repro.core.options import CTSOptions
 from repro.core.routing_common import RouteTerminal, slew_limited_length
 from repro.core.topology import (
@@ -70,22 +71,25 @@ class TestBfsEquivalence:
         for _ in range(12):
             grid = random_grid(rng)
             start = free_cell(grid, rng)
-            dist_ref, _ = grid.bfs_reference(start)
-            dist_sparse, _ = grid.bfs_sparse(start)
-            dist_wave, _ = grid.bfs_wave(start)
-            assert np.array_equal(dist_sparse, dist_ref)
-            assert np.array_equal(dist_wave, dist_ref)
+            dist_ref = grid.bfs_reference(start)
+            assert np.array_equal(BFS_ENGINE.sparse(grid, start), dist_ref)
+            assert np.array_equal(BFS_ENGINE.wave(grid, start), dist_ref)
+            assert np.array_equal(grid.bfs(start), dist_ref)
+            if not grid._any_blocked:
+                assert np.array_equal(
+                    BFS_ENGINE.closed_form(grid, start), dist_ref
+                )
 
-    def test_backtracked_paths_parents_consistent(self, rng):
+    def test_descent_paths_distance_consistent(self, rng):
         for _ in range(6):
             grid = random_grid(rng)
             start = free_cell(grid, rng)
-            dist_ref, _ = grid.bfs_reference(start)
-            for name in ("bfs_sparse", "bfs_wave"):
-                dist, parent = getattr(grid, name)(start)
+            dist_ref = grid.bfs_reference(start)
+            for strategy in (BFS_ENGINE.sparse, BFS_ENGINE.wave):
+                dist = strategy(grid, start)
                 reached = np.argwhere(dist >= 0)
                 for cell in map(tuple, reached[:: max(1, len(reached) // 40)]):
-                    path = grid.backtrack(parent, cell)
+                    path = grid.descend(dist, cell)
                     assert path[0] == start
                     assert path[-1] == cell
                     # shortest: length equals the reference distance
@@ -93,13 +97,18 @@ class TestBfsEquivalence:
                     for (i1, j1), (i2, j2) in zip(path, path[1:]):
                         assert abs(i1 - i2) + abs(j1 - j2) == 1
                         assert not grid.blocked[i2, j2]
+                    # the descent is a function of the field alone, so
+                    # equal fields give byte-equal paths across strategies
+                    assert path == grid.descend(dist_ref, cell)
 
     def test_blocked_start_raises_everywhere(self):
         grid = MazeGrid(BBox(0, 0, 1000, 1000), pitch=100.0)
         grid.block(BBox(-50, -50, 50, 50))
-        for name in ("bfs", "bfs_sparse", "bfs_wave", "bfs_reference"):
+        for fn in (grid.bfs, grid.bfs_reference):
             with pytest.raises(ValueError):
-                getattr(grid, name)((0, 0))
+                fn((0, 0))
+        with pytest.raises(ValueError):
+            grid.bfs_many([(5, 5), (0, 0)])
 
 
 class TestRouteEquivalence:
@@ -123,9 +132,10 @@ class TestRouteEquivalence:
         assert fast.meeting_point == ref.meeting_point
         assert fast.est_left_delay == ref.est_left_delay
         assert fast.est_right_delay == ref.est_right_delay
-        # Equal-length shortest paths (geometry may differ cell-by-cell).
-        assert fast.left.polyline.length == pytest.approx(ref.left.polyline.length)
-        assert fast.right.polyline.length == pytest.approx(ref.right.polyline.length)
+        # Identical distance fields + deterministic descent = identical
+        # geometry, not merely equal-length shortest paths.
+        assert fast.left.polyline.points == ref.left.polyline.points
+        assert fast.right.polyline.points == ref.right.polyline.points
         assert fast.left.state == ref.left.state
         assert fast.right.state == ref.right.state
 

@@ -133,15 +133,15 @@ class TestMazeRouter:
 class TestMazeGrid:
     def test_bfs_distances_manhattan_without_blockages(self):
         grid = MazeGrid(BBox(0, 0, 1000, 1000), pitch=100.0)
-        dist, parent = grid.bfs((0, 0))
+        dist = grid.bfs((0, 0))
         assert dist[0, 0] == 0
         assert dist[5, 3] == 8
         assert dist[10, 10] == 20
 
-    def test_backtrack_path_connected(self):
+    def test_descend_path_connected(self):
         grid = MazeGrid(BBox(0, 0, 1000, 1000), pitch=100.0)
-        __, parent = grid.bfs((0, 0))
-        path = grid.backtrack(parent, (7, 4))
+        dist = grid.bfs((0, 0))
+        path = grid.descend(dist, (7, 4))
         assert path[0] == (0, 0)
         assert path[-1] == (7, 4)
         for (i1, j1), (i2, j2) in zip(path, path[1:]):
