@@ -26,7 +26,12 @@ Shape claims:
   batcher) produces a tree bit-identical to the per-pair-window
   fallback (checked on the 200-sink blockage scenario every run) and,
   at 1000+ sinks, ``route_speedups`` rows are recorded with the shared
-  path no slower than per-pair windows on the blockage scenarios.
+  path no slower than per-pair windows on the blockage scenarios;
+- the level-batched route-finishing kernel (one ranking pass + lockstep
+  batched descent per level) produces a tree bit-identical to the
+  per-pair finish (checked on the 200-sink blockage scenario every run)
+  and, at 1000+ blockage sinks, ``route_finish_speedups`` rows are
+  recorded with the batched kernel no slower than the per-pair finish.
 """
 
 import os
@@ -35,6 +40,7 @@ from conftest import report
 
 from repro.evalx.perfstats import (
     PARALLEL_WORKERS,
+    batch_finish_equivalence,
     batched_equivalence,
     collect_scaling,
     parallel_equivalence,
@@ -128,6 +134,28 @@ def test_perf_scaling():
                 f"sinks: {row['route_speedup']:.2f}x"
             )
 
+    # Route-finishing rows exist for every 1000+ size on the blockage
+    # ladder (the no-blockage ladder has no maze candidates to rank),
+    # the kernel actually engaged, and the batched finish never loses to
+    # its own per-pair fallback (the acceptance comparison; measured
+    # multiples are recorded in the JSON for the trajectory).
+    finish_rows = {
+        (r["n_sinks"], r["blockages"]): r
+        for r in payload["route_finish_speedups"]
+    }
+    for n in sizes:
+        if n >= 1000:
+            assert (n, True) in finish_rows
+    for (n, __), row in finish_rows.items():
+        assert row["per_pair_finish_route_s"] > 0
+        assert row["batched_finish_route_s"] > 0
+        assert row["finish_batches"] > 0, "finishing kernel never engaged"
+        assert row["cells_ranked"] > 0
+        assert row["route_finish_speedup"] >= 1.0, (
+            f"batched route finishing lost to the per-pair fallback at {n} "
+            f"sinks: {row['route_finish_speedup']:.2f}x"
+        )
+
 
 def test_parallel_matches_serial():
     """Parallel flow is bit-identical to serial on the 200-sink scenario."""
@@ -146,6 +174,22 @@ def test_shared_windows_match_per_pair():
     assert payload["shared_levels"] == payload["per_pair_levels"]
     assert payload["shared_sharing"]["windows_served"] > 0
     assert payload["per_pair_sharing"]["windows_served"] == 0
+
+
+def test_batched_finish_matches_per_pair():
+    """The level-batched route-finishing kernel is bit-identical to the
+    per-pair finish (200 sinks, shared windows on both sides); the
+    batched side actually ranked and descended level-wide."""
+    payload = batch_finish_equivalence(n_sinks=200, with_blockages=True)
+    assert payload["batched_tree"] == payload["per_pair_tree"]
+    assert payload["batched_stats"] == payload["per_pair_stats"]
+    assert payload["batched_levels"] == payload["per_pair_levels"]
+    assert payload["batched_sharing"]["finish_batches"] > 0
+    assert payload["batched_sharing"]["cells_ranked"] > 0
+    assert payload["per_pair_sharing"]["finish_batches"] == 0
+    # Both sides routed the same pairs through the same shared windows.
+    for key in ("pairs_routed", "windows_served", "curve_points"):
+        assert payload["batched_sharing"][key] == payload["per_pair_sharing"][key]
 
 
 def test_batched_commit_matches_scalar():

@@ -63,6 +63,13 @@ def _build_parser() -> argparse.ArgumentParser:
         " of the level-scoped shared grid-tile cache (bit-identical, for"
         " debugging/timing)",
     )
+    synth.add_argument(
+        "--no-batch-route-finish",
+        action="store_true",
+        help="finish shared-window maze routes pair by pair instead of"
+        " through the level-wide ranking/materialization kernel"
+        " (bit-identical, for debugging/timing)",
+    )
     synth.add_argument("--eval-dt", type=float, default=1.0, help="sim step (ps)")
     synth.add_argument("--json", metavar="PATH", help="save tree as JSON")
     synth.add_argument("--dot", metavar="PATH", help="save tree as Graphviz DOT")
@@ -95,6 +102,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="route merges over private per-pair maze windows instead of"
         " the level-scoped shared grid-tile cache",
+    )
+    bench.add_argument(
+        "--no-batch-route-finish",
+        action="store_true",
+        help="finish shared-window maze routes pair by pair instead of"
+        " through the level-wide ranking/materialization kernel",
     )
     return parser
 
@@ -131,6 +144,7 @@ def _cmd_synthesize(args) -> int:
         **({} if args.workers is None else {"workers": args.workers}),
         **({"batch_commit": False} if args.no_batch_commit else {}),
         **({"shared_windows": False} if args.no_shared_windows else {}),
+        **({"batch_route_finish": False} if args.no_batch_route_finish else {}),
     )
     cts = AggressiveBufferedCTS(options=options, blockages=inst.blockages or None)
     result = cts.synthesize(inst.sink_pairs(), inst.source)
@@ -188,6 +202,7 @@ def _cmd_bench(args) -> int:
         **({} if args.workers is None else {"workers": args.workers}),
         **({"batch_commit": False} if args.no_batch_commit else {}),
         **({"shared_windows": False} if args.no_shared_windows else {}),
+        **({"batch_route_finish": False} if args.no_batch_route_finish else {}),
     )
     if args.table == "5.1":
         print(

@@ -432,6 +432,99 @@ def _cells_polyline(
     return points
 
 
+def staircase_arrays_many(
+    starts: list[tuple[int, int]], cells: list[tuple[int, int]]
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Batched :meth:`MazeGrid.staircase_arrays` over many sides.
+
+    Every side's canonical staircase (y-run from the start, then x-run)
+    is a clamped ramp in the position-within-side index, so all sides
+    build as a handful of global numpy ops over the concatenation and
+    split back into per-side views — element for element what the
+    per-side calls return.
+    """
+    if not starts:
+        return []
+    i0 = np.array([c[0] for c in starts], dtype=np.int64)
+    j0 = np.array([c[1] for c in starts], dtype=np.int64)
+    i1 = np.array([c[0] for c in cells], dtype=np.int64)
+    j1 = np.array([c[1] for c in cells], dtype=np.int64)
+    run_x = np.abs(i1 - i0)
+    run_y = np.abs(j1 - j0)
+    sx = np.sign(i1 - i0)
+    sy = np.sign(j1 - j0)
+    lens = run_y + run_x + 1
+    offs = np.zeros(lens.size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=offs[1:])
+    pos = np.arange(int(lens.sum()), dtype=np.int64) - np.repeat(offs, lens)
+    ry = np.repeat(run_y, lens)
+    ci = np.repeat(i0, lens) + np.repeat(sx, lens) * np.maximum(0, pos - ry)
+    cj = np.repeat(j0, lens) + np.repeat(sy, lens) * np.minimum(pos, ry)
+    splits = np.cumsum(lens)[:-1]
+    return list(zip(np.split(ci, splits), np.split(cj, splits)))
+
+
+def cells_polylines_many(
+    firsts: list[Point],
+    cis: list[np.ndarray],
+    cjs: list[np.ndarray],
+    grids: list["MazeGrid"],
+) -> list[list[Point]]:
+    """Batched :func:`_cells_polyline` over many routed sides.
+
+    All sides' cell coordinates map to layout coordinates in one
+    multiply-add over the concatenation (the exact per-element expression
+    of :meth:`MazeGrid.center`), bend detection runs as one global triple
+    comparison (side boundaries are forced kept, so no cross-side triple
+    can drop a point), and only the kept bend vertices materialize as
+    Points — the same vertices, in the same order, as per-side
+    :func:`_cells_polyline` calls produce.
+    """
+    n = len(firsts)
+    if n == 0:
+        return []
+    lens = np.array([c.size for c in cis], dtype=np.int64)
+    m = lens + 1  # points per side, including the first point
+    starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(m[:-1], out=starts[1:])
+    ends = starts + m - 1
+    total = int(m.sum())
+    xs = np.empty(total)
+    ys = np.empty(total)
+    xs[starts] = [p.x for p in firsts]
+    ys[starts] = [p.y for p in firsts]
+    fill = np.ones(total, dtype=bool)
+    fill[starts] = False
+    pitches = np.array([g.pitch for g in grids])
+    xs[fill] = np.repeat(
+        np.array([g.bbox.xmin for g in grids]), lens
+    ) + np.concatenate(cis) * np.repeat(pitches, lens)
+    ys[fill] = np.repeat(
+        np.array([g.bbox.ymin for g in grids]), lens
+    ) + np.concatenate(cjs) * np.repeat(pitches, lens)
+    keep = np.ones(total, dtype=bool)
+    if total > 2:
+        same_x = (xs[:-2] == xs[1:-1]) & (xs[1:-1] == xs[2:])
+        same_y = (ys[:-2] == ys[1:-1]) & (ys[1:-1] == ys[2:])
+        keep[1:-1] = ~(same_x | same_y)
+        keep[starts] = True
+        keep[ends] = True
+    counts = np.add.reduceat(keep.astype(np.int64), starts).tolist()
+    kept = np.flatnonzero(keep)
+    kept_x = xs[kept].tolist()  # python floats once, not per-vertex numpy
+    kept_y = ys[kept].tolist()
+    out: list[list[Point]] = []
+    pos = 0
+    for first, count in zip(firsts, counts):
+        points = [first]
+        points.extend(
+            Point(kept_x[p], kept_y[p]) for p in range(pos + 1, pos + count)
+        )
+        pos += count
+        out.append(points)
+    return out
+
+
 def _compress_polyline(points: list[Point]) -> list[Point]:
     """Drop interior points of collinear (axis-aligned) runs."""
     if len(points) <= 2:
@@ -468,6 +561,164 @@ def both_reached(search: MazeSearch) -> bool:
     return bool(
         ((search.dists[0] != _UNREACHED) & (search.dists[1] != _UNREACHED)).any()
     )
+
+
+def rank_candidates(
+    dist1: np.ndarray,
+    dist2: np.ndarray,
+    both: np.ndarray,
+    prof1: np.ndarray,
+    prof2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Rank one pair's co-reached cells and pick the merge cell (scalar).
+
+    Ranks only the co-reached cells (ties break on the earliest flat
+    index, which the subset preserves, so the winner is identical to
+    ranking the full grid with inf sentinels) by successive argmin
+    refinement: minimum skew rounded to 15 decimals, then minimum total
+    delay, then minimum combined hop count, then the lowest flat index.
+    Returns ``(cand, k1, k2, d1, d2, pick)`` — the candidate flat
+    indices, both sides' step counts and profile delays, and the winning
+    position within ``cand``.
+
+    This is the per-pair reference the level-batched kernel
+    (:func:`repro.core.routing_common.rank_level_cells`) is equivalence-
+    and property-tested against; both must rank with the exact same key
+    arithmetic and tie order or bit-identity breaks.
+    """
+    cand = np.flatnonzero(both.ravel())
+    k1 = dist1.ravel()[cand]
+    k2 = dist2.ravel()[cand]
+    d1 = prof1[k1]
+    d2 = prof2[k2]
+    skew = np.abs(d1 - d2)
+    total = np.maximum(d1, d2)
+    hops = k1 + k2
+    # Successive argmin refinement: only the top-ranked cell is needed,
+    # and lexsort's stable tie order is the ascending flat index, which
+    # each refinement preserves.
+    rounded_skew = np.round(skew, 15)
+    sel = np.flatnonzero(rounded_skew == rounded_skew.min())
+    sel = sel[total[sel] == total[sel].min()]
+    sel = sel[hops[sel] == hops[sel].min()]
+    pick = int(sel[0])
+    return cand, k1, k2, d1, d2, pick
+
+
+#: Cell budget of one batched-descent chunk: the concatenated distance
+#: fields of a chunk stay within this many cells so a level of large
+#: (coarsening-capped) windows cannot balloon the copy. Chunking cannot
+#: change results — each side's descent reads only its own field.
+DESCENT_CELL_BUDGET = 4_000_000
+
+
+def descend_many(
+    sides: list[tuple[np.ndarray, tuple[int, int]]],
+    cell_budget: int = DESCENT_CELL_BUDGET,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Batched :meth:`MazeGrid.descend`: walk many distance fields at once.
+
+    ``sides`` holds ``(dist_field, cell)`` pairs — typically the two
+    sides of every blocked merge route of a topology level. All descents
+    advance in lockstep numpy steps: one round moves every still-active
+    side one BFS level downhill, gathering the four neighbor distances of
+    all sides from one concatenated field buffer and choosing, per side,
+    the first qualifying neighbor in the fixed ``_DIRECTIONS`` priority
+    (+x, -x, +y, -y) — exactly the scalar descent's choice, so the cell
+    sequences are bit-identical to per-side :meth:`MazeGrid.descend`
+    calls (pinned by the equivalence and property tests).
+
+    Returns one ``(ci, cj)`` integer-array pair per side, start to
+    ``cell`` inclusive (index = BFS depth, matching the scalar path
+    order). Sides are grouped into chunks of at most ``cell_budget``
+    concatenated field cells; results are invariant to the chunking.
+    """
+    if not sides:
+        return []
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    chunk: list[tuple[np.ndarray, tuple[int, int]]] = []
+    cells_in_chunk = 0
+    for side in sides:
+        size = side[0].size
+        if chunk and cells_in_chunk + size > cell_budget:
+            out.extend(_descend_chunk(chunk))
+            chunk, cells_in_chunk = [], 0
+        chunk.append(side)
+        cells_in_chunk += size
+    out.extend(_descend_chunk(chunk))
+    return out
+
+
+def _descend_chunk(
+    sides: list[tuple[np.ndarray, tuple[int, int]]]
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """One lockstep descent round-loop over a chunk of sides.
+
+    Every field is copied into one int32 buffer with a one-cell border
+    of sentinel values, so a round needs no bounds checks at all: the
+    four neighbor distances of every active side resolve as a single
+    fancy-indexed ``(active, 4)`` gather at fixed per-side flat offsets,
+    and a border hit reads the sentinel (never equal to a BFS level).
+    """
+    fields = [dist for dist, _ in sides]
+    n = len(fields)
+    pnys = np.array([f.shape[1] + 2 for f in fields], dtype=np.int64)
+    sizes = np.array([(f.shape[0] + 2) * pny for f, pny in zip(fields, pnys)])
+    offs = np.zeros(n, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=offs[1:])
+    concat = np.full(int(sizes.sum()), _UNREACHED - 1, dtype=np.int32)
+    for field, off, size, pny in zip(fields, offs, sizes, pnys):
+        view = concat[off : off + size].reshape(-1, pny)
+        view[1:-1, 1:-1] = field
+    ci = np.array([c[0] for _, c in sides], dtype=np.int64)
+    cj = np.array([c[1] for _, c in sides], dtype=np.int64)
+    pos = offs + (ci + 1) * pnys + (cj + 1)  # padded flat coordinates
+    depth = concat[pos].astype(np.int64)
+    if (depth < 0).any():
+        bad = int(np.flatnonzero(depth < 0)[0])
+        cell = (int(ci[bad]), int(cj[bad]))
+        raise ValueError(f"cell {cell} was not reached by this BFS")
+    out_lens = depth + 1
+    out_offs = np.zeros(n, dtype=np.int64)
+    np.cumsum(out_lens[:-1], out=out_offs[1:])
+    out_i = np.empty(int(out_lens.sum()), dtype=np.int64)
+    out_j = np.empty_like(out_i)
+    out_i[out_offs + depth] = ci
+    out_j[out_offs + depth] = cj
+    active = np.flatnonzero(depth > 0)
+    ai, aj, ad, apos = ci[active], cj[active], depth[active], pos[active]
+    a_out = out_offs[active]
+    # Per-side flat steps of the 4 directions, in _DIRECTIONS priority
+    # (+x, -x, +y, -y): on the padded row-major layout those are
+    # (+pny, -pny, +1, -1).
+    a_steps = np.stack(
+        [pnys[active], -pnys[active], np.ones(active.size, dtype=np.int64),
+         np.full(active.size, -1, dtype=np.int64)],
+        axis=1,
+    )
+    di_of = np.array([di for di, _ in _DIRECTIONS], dtype=np.int64)
+    dj_of = np.array([dj for _, dj in _DIRECTIONS], dtype=np.int64)
+    rows = np.arange(active.size)
+    while ai.size:
+        target = ad - 1
+        match = concat[apos[:, None] + a_steps] == target[:, None]
+        if not match.any(axis=1).all():  # pragma: no cover - inconsistent field
+            raise RuntimeError("inconsistent BFS distance field")
+        choice = np.argmax(match, axis=1)  # first qualifying direction
+        apos = apos + a_steps[rows[: ai.size], choice]
+        ai = ai + di_of[choice]
+        aj = aj + dj_of[choice]
+        ad = target
+        out_i[a_out + ad] = ai
+        out_j[a_out + ad] = aj
+        keep = ad > 0
+        if not keep.all():
+            ai, aj, ad, apos = ai[keep], aj[keep], ad[keep], apos[keep]
+            a_out, a_steps = a_out[keep], a_steps[keep]
+    return [
+        (out_i[o : o + n_out], out_j[o : o + n_out])
+        for o, n_out in zip(out_offs, out_lens)
+    ]
 
 
 def finish_maze_route(
@@ -515,25 +766,7 @@ def finish_maze_route(
     prof1 = builders[0].delays_up_to(max_k)
     prof2 = builders[1].delays_up_to(max_k)
 
-    # Rank only the co-reached cells (lexsort ties break on the earliest
-    # flat index, which the subset preserves, so the winner is identical
-    # to ranking the full grid with inf sentinels).
-    cand = np.flatnonzero(both.ravel())
-    k1 = dist1.ravel()[cand]
-    k2 = dist2.ravel()[cand]
-    d1 = prof1[k1]
-    d2 = prof2[k2]
-    skew = np.abs(d1 - d2)
-    total = np.maximum(d1, d2)
-    hops = k1 + k2
-    # Successive argmin refinement: only the top-ranked cell is needed,
-    # and lexsort's stable tie order is the ascending flat index, which
-    # each refinement preserves.
-    rounded_skew = np.round(skew, 15)
-    sel = np.flatnonzero(rounded_skew == rounded_skew.min())
-    sel = sel[total[sel] == total[sel].min()]
-    sel = sel[hops[sel] == hops[sel].min()]
-    pick = int(sel[0])
+    cand, k1, k2, d1, d2, pick = rank_candidates(dist1, dist2, both, prof1, prof2)
     best = int(cand[pick])
     bi, bj = np.unravel_index(best, both.shape)
     meeting = grid.center(int(bi), int(bj))

@@ -164,8 +164,12 @@ class MergeRouter:
         self.commit_queries = CommitQueryStats()
         #: Wall-clock spent in the route and commit phases.
         self.phase_seconds = {"route": 0.0, "commit": 0.0}
-        #: Shared-window subsystem counters (in-process routing only;
-        #: pool workers keep their own and drop them with the process).
+        #: Shared-window / route-finishing counters. Pool workers route
+        #: through batch-local caches and ship their batch's counters
+        #: back with the results; the executor sums them in here on
+        #: gather (commutative integer sums, so the totals are
+        #: independent of worker scheduling and the pair-level counters
+        #: equal the serial flow's).
         from repro.core.grid_cache import GridCache, SharingStats
 
         self.route_sharing = SharingStats()

@@ -30,6 +30,16 @@ def _default_shared_windows() -> bool:
     )
 
 
+def _default_batch_route_finish() -> bool:
+    """Honor ``REPRO_BATCH_ROUTE_FINISH`` so CI can exercise the
+    per-pair route-finishing fallback."""
+    return os.environ.get("REPRO_BATCH_ROUTE_FINISH", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
 @dataclass
 class CTSOptions:
     """Knobs of the paper's flow, with the paper's defaults.
@@ -87,6 +97,12 @@ class CTSOptions:
     #   and cross-pair batcher (repro.core.grid_cache) instead of private
     #   per-pair maze windows (bit-identical to the per-pair fallback; env
     #   REPRO_SHARED_WINDOWS=0 disables the default)
+    batch_route_finish: bool = field(default_factory=_default_batch_route_finish)
+    #   finish a shared-window level's maze routes through the level-wide
+    #   ranking/materialization kernel (structure-of-arrays candidate
+    #   ranking + lockstep batched distance-field descent) instead of pair
+    #   by pair (bit-identical to the per-pair finish; only engages under
+    #   shared_windows; env REPRO_BATCH_ROUTE_FINISH=0 disables the default)
     # --- misc ------------------------------------------------------------
     virtual_drive: str | None = None  # assumed driver type (default largest)
     source_slew: float = 60.0e-12  # slew of the ideal ramp at the clock source

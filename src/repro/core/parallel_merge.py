@@ -17,7 +17,13 @@ embarrassingly parallel. This module runs it on a
   sequence regardless of worker scheduling — either scalar pair by pair
   or, with ``CTSOptions.batch_commit``, through the lockstep batched
   commit scheduler (:mod:`repro.core.batch_commit`): route in the pool,
-  commit batched in the parent.
+  commit batched in the parent;
+- each batch ships its :class:`~repro.core.grid_cache.SharingStats`
+  back with the results and the executor sums them into the router's
+  route-phase counters — integer sums commute, so pooled stats are
+  order-independent (and their pair-level counters equal the serial
+  flow's), which is what lets tests assert stats equality under the
+  pool.
 
 Routing is a pure function of its inputs (`route_pair`), and the library
 pickle round-trip re-derives its compiled evaluators from identical
@@ -46,6 +52,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.charlib.library import DelaySlewLibrary
+from repro.core.grid_cache import SharingStats
 from repro.core.merge_routing import MergePlan, MergeRouter, route_pair
 from repro.core.options import CTSOptions
 from repro.core.routing_common import RouteResult, RouteTerminal
@@ -76,32 +83,42 @@ def _init_worker(ctx_bytes: bytes) -> None:
 def _route_tasks(
     ctx: "WorkerContext",
     tasks: list[tuple[int, RouteTerminal, RouteTerminal]],
-) -> list[tuple[int, RouteResult]]:
+) -> tuple[list[tuple[int, RouteResult]], "SharingStats"]:
     """Route one batch of (pair index, terminal, terminal) tasks.
 
     With ``shared_windows`` the batch routes through the cross-pair
-    batcher over a batch-local tile cache: the pairs of one worker batch
-    share tiles, lockstep search rounds and the level curve round among
-    themselves instead of each rebuilding private windows. Because the
-    shared path replicates every per-pair computation exactly (batching
-    only regroups element-wise work), results are invariant to the batch
-    split and identical to the serial flow — shipping parent-built tiles
-    instead was measured as a wash, since window keys are pair-unique and
-    a pickled tile costs about as much as rasterizing it.
+    batcher (including the level-batched finishing kernel when
+    ``batch_route_finish`` — workers and the serial flow share one
+    kernel) over a batch-local tile cache: the pairs of one worker batch
+    share tiles, lockstep search rounds, the curve round and the finish
+    kernel among themselves instead of each rebuilding private windows.
+    Because the shared path replicates every per-pair computation exactly
+    (batching only regroups element-wise work), results are invariant to
+    the batch split and identical to the serial flow — shipping
+    parent-built tiles instead was measured as a wash, since window keys
+    are pair-unique and a pickled tile costs about as much as rasterizing
+    it.
+
+    Returns the routed results plus the batch's
+    :class:`~repro.core.grid_cache.SharingStats`, so the gather side can
+    sum every batch's counters into the router's stats (integer sums
+    commute, making the totals independent of worker scheduling).
     """
     if ctx.options.shared_windows:
         from repro.core.grid_cache import GridCache, route_level
 
+        cache = GridCache(ctx.blockages)
         routes = route_level(
             [(term1, term2) for _, term1, term2 in tasks],
             ctx.library,
             ctx.options,
             ctx.stage_length,
             ctx.blockages,
-            cache=GridCache(ctx.blockages),
+            cache=cache,
         )
-        return [(index, route) for (index, _, _), route in zip(tasks, routes)]
-    return [
+        routed = [(index, route) for (index, _, _), route in zip(tasks, routes)]
+        return routed, cache.stats
+    routed = [
         (
             index,
             route_pair(
@@ -115,11 +132,12 @@ def _route_tasks(
         )
         for index, term1, term2 in tasks
     ]
+    return routed, SharingStats()
 
 
 def _route_batch(
     tasks: list[tuple[int, RouteTerminal, RouteTerminal]],
-) -> list[tuple[int, RouteResult]]:
+) -> tuple[list[tuple[int, RouteResult]], "SharingStats"]:
     """Worker entry point: route one shipped batch with the worker ctx."""
     ctx = _CTX
     if ctx is None:  # pragma: no cover - initializer always ran
@@ -167,6 +185,11 @@ class ParallelMergeExecutor:
         self._fallback_ctx: WorkerContext | None = None
         #: Why routing dropped to in-process execution, if it did.
         self.fallback_reason: str | None = None
+        #: Where batch SharingStats land on gather (the router's
+        #: route-phase counters): each batch's counts are summed in, in
+        #: submission order, so pooled totals match repeated runs exactly
+        #: and the pair-level counters match the serial flow.
+        self._stats_sink = router.route_sharing
 
     # ------------------------------------------------------------------
 
@@ -219,8 +242,10 @@ class ParallelMergeExecutor:
         if pool is None:
             if self._fallback_ctx is None:
                 self._fallback_ctx = pickle.loads(self._ctx_bytes)
-            for index, route in _route_tasks(self._fallback_ctx, tasks):
+            routed, stats = _route_tasks(self._fallback_ctx, tasks)
+            for index, route in routed:
                 results[index] = route
+            self._stats_sink.merge(stats)
             return results
         size = self._batch_size_for(len(tasks))
         futures = [
@@ -228,8 +253,10 @@ class ParallelMergeExecutor:
             for k in range(0, len(tasks), size)
         ]
         for future in futures:
-            for index, route in future.result():
+            routed, stats = future.result()
+            for index, route in routed:
                 results[index] = route
+            self._stats_sink.merge(stats)
         return results
 
     # ------------------------------------------------------------------

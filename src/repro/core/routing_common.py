@@ -290,6 +290,54 @@ def run_maze_search(
     raise RuntimeError(f"{what}s are disconnected by blockages")
 
 
+def rank_level_cells(
+    counts: np.ndarray,
+    rounded_skew: np.ndarray,
+    total: np.ndarray,
+    hops: np.ndarray,
+) -> np.ndarray:
+    """Pick every pair's merge cell in one segmented ranking pass.
+
+    The level-batched twin of the per-pair successive argmin refinement
+    in :func:`repro.core.maze_router.rank_candidates`: the key arrays are
+    the concatenation of every pair's candidate rows (``counts[i]`` rows
+    per pair, in pair order), and the winner of each segment is the row
+    minimizing ``rounded_skew``, then ``total``, then ``hops``, with
+    remaining ties resolved to the earliest row — the exact scalar tie
+    order, because each refinement keeps only exact-equality survivors of
+    the previous one (float comparisons, no arithmetic, so batching
+    cannot change any outcome).
+
+    Returns the winning *global* row index per segment; subtract the
+    segment start for the within-pair position. Implemented as one
+    segmented-minimum pass over the full concatenation (the skew stage)
+    followed by a lexicographic tie resolution over the surviving rows
+    only — O(rows) plus O(ties log ties), no per-pair Python.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if (counts <= 0).any():
+        raise ValueError("every segment needs at least one candidate row")
+    starts = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    # Stage 1 over the full row set: per-segment minimum rounded skew.
+    min_skew = np.minimum.reduceat(rounded_skew, starts)
+    survivors = np.flatnonzero(rounded_skew == np.repeat(min_skew, counts))
+    if survivors.size == counts.size:
+        return survivors  # one survivor per segment: no ties anywhere
+    # Tie stages over the (typically tiny) survivor set: ascending
+    # lexicographic order by (segment, total, hops, row) makes the first
+    # row of each segment exactly the scalar refinement's winner —
+    # comparisons only, no arithmetic, so outcomes cannot drift.
+    seg = np.searchsorted(starts, survivors, side="right") - 1
+    order = np.lexsort((survivors, hops[survivors], total[survivors], seg))
+    seg_sorted = seg[order]
+    first = np.ones(seg_sorted.size, dtype=bool)
+    first[1:] = seg_sorted[1:] != seg_sorted[:-1]
+    return survivors[order[first]]
+
+
 def l_path(a: Point, b: Point) -> PathPolyline:
     """An L-shaped rectilinear path from ``a`` to ``b`` (bend at (b.x, a.y))."""
     if a.x == b.x or a.y == b.y:

@@ -270,7 +270,12 @@ class PathBuilder:
         self._load = initial_load
         self._buffers: list[PlacedBuffer] = []
         self._bind_load()
-        self._delays: list[float] = [base_delay]
+        #: Frontier-delay profile, one float64 per step, in a growable
+        #: buffer (``_n_delays`` entries are valid) so run extensions
+        #: append numpy slices directly — no list/array round-trips.
+        self._delays = np.empty(64)
+        self._delays[0] = base_delay
+        self._n_delays = 1
         #: Run records: (first_step, open_before_first_step, load, buffers).
         self._runs: list[tuple[int, int, str, tuple[PlacedBuffer, ...]]] = []
         self._built = 0  # highest step index whose delay is computed
@@ -291,12 +296,12 @@ class PathBuilder:
         """Snapshot after k steps (extends the profile on demand)."""
         self._ensure(k)
         if k == 0:
-            return PathState(0, self._delays[0], 0, self._initial_load, (), 0)
+            return PathState(0, float(self._delays[0]), 0, self._initial_load, (), 0)
         idx = bisect_right(self._runs, k, key=lambda r: r[0]) - 1
         first_step, open_before, load, buffers = self._runs[idx]
         return PathState(
             k,
-            self._delays[k],
+            float(self._delays[k]),
             open_before + (k - first_step + 1),
             load,
             buffers,
@@ -306,7 +311,17 @@ class PathBuilder:
     def delays_up_to(self, k: int) -> np.ndarray:
         """Array of frontier delays for steps 0..k inclusive."""
         self._ensure(k)
-        return np.array(self._delays[: k + 1])
+        return self._delays[: k + 1].copy()
+
+    def delays_view(self, k: int) -> np.ndarray:
+        """No-copy view of the delays for steps 0..k (read-only use).
+
+        The level-batched route-finishing kernel gathers profile costs
+        straight out of every pair's buffer; values are exactly
+        :meth:`delays_up_to`'s, the caller just must not mutate them.
+        """
+        self._ensure(k)
+        return self._delays[: k + 1]
 
     # ------------------------------------------------------------------
 
@@ -340,12 +355,22 @@ class PathBuilder:
                     )
                 continue
             seg = self._vd_delays[o0 + 1 : o0 + run_len + 1] + self._completed_delay
-            self._delays.extend(seg.tolist())
+            self._append_delays(seg)
             self._runs.append(
                 (self._built + 1, o0, self._load, tuple(self._buffers))
             )
             self._open = o0 + run_len
             self._built += run_len
+
+    def _append_delays(self, seg: np.ndarray) -> None:
+        """Append one run's delay slice to the profile buffer."""
+        end = self._n_delays + seg.size
+        if end > self._delays.size:
+            grown = np.empty(max(end, 2 * self._delays.size))
+            grown[: self._n_delays] = self._delays[: self._n_delays]
+            self._delays = grown
+        self._delays[self._n_delays : end] = seg
+        self._n_delays = end
 
     def _insert_buffer(self, frontier_step: int) -> None:
         """Intelligent sizing: pick (cell, type) with slew closest to target.

@@ -22,7 +22,14 @@ full synthesis runs with two engines:
   searches a private maze window, the fallback the level-scoped grid
   cache + cross-pair batcher is measured against (bit-identical trees;
   timed at sizes >= ``SHARED_WINDOWS_MIN_SINKS``, and the source of the
-  ``route_speedups`` rows).
+  ``route_speedups`` rows);
+- ``per-pair-finish``: the vectorized engine with the level-batched
+  route-finishing kernel disabled (``batch_route_finish=False``) —
+  shared windows stay on but every maze route ranks its candidate cells
+  and materializes its paths pair by pair, the fallback the level-wide
+  ranking/descent kernel is measured against (bit-identical trees; timed
+  on the blockage scenarios at sizes >= ``ROUTE_FINISH_MIN_SINKS``, the
+  source of the ``route_finish_speedups`` rows).
 
 ``collect_scaling`` produces a JSON-ready payload with per-scenario
 seconds and reference/vectorized speedups; ``write_scaling_json`` emits
@@ -75,6 +82,11 @@ BATCH_COMMIT_MIN_SINKS = 1000
 
 #: Smallest ladder size at which shared-vs-per-pair windows is timed.
 SHARED_WINDOWS_MIN_SINKS = 1000
+
+#: Smallest ladder size at which batched-vs-per-pair route finishing is
+#: timed (blockage scenarios only — the profile router has no maze
+#: candidates to rank, so the no-blockage ladder never enters the kernel).
+ROUTE_FINISH_MIN_SINKS = 1000
 
 #: Sink density: die edge grows with sqrt(n) so merge spans stay realistic.
 AREA_PER_SQRT_SINK = 1200.0
@@ -245,16 +257,46 @@ def time_synthesis(
     # vectorized/parallel rows to measure everything ON.
     if engine == "parallel":
         options = CTSOptions(
-            workers=PARALLEL_WORKERS, batch_commit=True, shared_windows=True
+            workers=PARALLEL_WORKERS,
+            batch_commit=True,
+            shared_windows=True,
+            batch_route_finish=True,
         )
     elif engine == "reference":
-        options = CTSOptions(workers=0, batch_commit=False, shared_windows=False)
+        options = CTSOptions(
+            workers=0,
+            batch_commit=False,
+            shared_windows=False,
+            batch_route_finish=False,
+        )
     elif engine == "scalar-commit":
-        options = CTSOptions(workers=0, batch_commit=False, shared_windows=True)
+        options = CTSOptions(
+            workers=0,
+            batch_commit=False,
+            shared_windows=True,
+            batch_route_finish=True,
+        )
     elif engine == "per-pair-windows":
-        options = CTSOptions(workers=0, batch_commit=True, shared_windows=False)
+        options = CTSOptions(
+            workers=0,
+            batch_commit=True,
+            shared_windows=False,
+            batch_route_finish=True,
+        )
+    elif engine == "per-pair-finish":
+        options = CTSOptions(
+            workers=0,
+            batch_commit=True,
+            shared_windows=True,
+            batch_route_finish=False,
+        )
     else:
-        options = CTSOptions(workers=0, batch_commit=True, shared_windows=True)
+        options = CTSOptions(
+            workers=0,
+            batch_commit=True,
+            shared_windows=True,
+            batch_route_finish=True,
+        )
 
     def run() -> dict:
         best = None
@@ -298,9 +340,35 @@ def time_synthesis(
         "parallel",
         "scalar-commit",
         "per-pair-windows",
+        "per-pair-finish",
     ):
         raise ValueError(f"unknown engine {engine!r}")
     return run()
+
+
+def _alternating_route_best(
+    n: int,
+    with_blockages: bool,
+    seed: int,
+    seeded: dict[str, float],
+    rounds: int = 2,
+) -> dict[str, float]:
+    """Best route-phase seconds per engine, timed in alternating rounds.
+
+    Route-phase comparisons are sub-second intervals, so slow machine
+    drift between two distant measurements swamps them; each round times
+    every engine once, back to back, and each engine keeps its best —
+    the drift cancels. ``seeded`` maps engine name to an already-measured
+    route_s that seeds the minimum.
+    """
+    best = dict(seeded)
+    for __ in range(rounds):
+        for engine in best:
+            best[engine] = min(
+                best[engine],
+                time_synthesis(n, with_blockages, engine, seed)["route_s"],
+            )
+    return best
 
 
 def collect_scaling(
@@ -322,6 +390,7 @@ def collect_scaling(
     parallel_speedups: list[dict] = []
     commit_speedups: list[dict] = []
     route_speedups: list[dict] = []
+    route_finish_speedups: list[dict] = []
     for with_blockages in (False, True):
         for n in sizes:
             vec = time_synthesis(n, with_blockages, "vectorized", seed, repeats=2)
@@ -331,25 +400,17 @@ def collect_scaling(
                     n, with_blockages, "per-pair-windows", seed, repeats=2
                 )
                 samples.append(pp)
-                # The route comparison is a sub-second interval, so slow
-                # machine drift between two distant measurements swamps
-                # it; time the two engines in alternating rounds and take
-                # each side's best so the drift cancels.
-                shared_route = vec["route_s"]
-                per_pair_route = pp["route_s"]
-                for __ in range(2):
-                    shared_route = min(
-                        shared_route,
-                        time_synthesis(n, with_blockages, "vectorized", seed)[
-                            "route_s"
-                        ],
-                    )
-                    per_pair_route = min(
-                        per_pair_route,
-                        time_synthesis(
-                            n, with_blockages, "per-pair-windows", seed
-                        )["route_s"],
-                    )
+                route_best = _alternating_route_best(
+                    n,
+                    with_blockages,
+                    seed,
+                    {
+                        "vectorized": vec["route_s"],
+                        "per-pair-windows": pp["route_s"],
+                    },
+                )
+                shared_route = route_best["vectorized"]
+                per_pair_route = route_best["per-pair-windows"]
                 sharing = vec.get("route_sharing", {})
                 route_speedups.append(
                     {
@@ -363,6 +424,36 @@ def collect_scaling(
                         "tiles_reused": sharing.get("tiles_reused", 0),
                         "curve_rounds": sharing.get("curve_rounds", 0),
                         "pitch_buckets": sharing.get("pitch_buckets", {}),
+                    }
+                )
+            if with_blockages and n >= ROUTE_FINISH_MIN_SINKS:
+                pf = time_synthesis(
+                    n, with_blockages, "per-pair-finish", seed, repeats=2
+                )
+                samples.append(pf)
+                finish_best = _alternating_route_best(
+                    n,
+                    with_blockages,
+                    seed,
+                    {
+                        "vectorized": vec["route_s"],
+                        "per-pair-finish": pf["route_s"],
+                    },
+                )
+                batched_route = finish_best["vectorized"]
+                per_pair_route = finish_best["per-pair-finish"]
+                sharing = vec.get("route_sharing", {})
+                route_finish_speedups.append(
+                    {
+                        "n_sinks": n,
+                        "blockages": with_blockages,
+                        "per_pair_finish_route_s": per_pair_route,
+                        "batched_finish_route_s": batched_route,
+                        "route_finish_speedup": per_pair_route / batched_route,
+                        "finish_batches": sharing.get("finish_batches", 0),
+                        "cells_ranked": sharing.get("cells_ranked", 0),
+                        "descent_sides": sharing.get("descent_sides", 0),
+                        "descent_cells": sharing.get("descent_cells", 0),
                     }
                 )
             if n >= PARALLEL_MIN_SINKS:
@@ -428,6 +519,7 @@ def collect_scaling(
         "parallel_speedups": parallel_speedups,
         "commit_speedups": commit_speedups,
         "route_speedups": route_speedups,
+        "route_finish_speedups": route_finish_speedups,
     }
 
 
@@ -529,6 +621,45 @@ def shared_equivalence(
     return out
 
 
+def batch_finish_equivalence(
+    n_sinks: int = 200,
+    with_blockages: bool = True,
+    workers: int = 0,
+    seed: int = 5,
+) -> dict:
+    """Batched-finish and per-pair-finish runs of one scenario, reduced
+    to signatures.
+
+    Like :func:`shared_equivalence` but for the level-batched
+    route-finishing kernel: ``batched_tree == per_pair_tree`` asserts
+    bit-identical synthesis (same ranked merge cells including every tie,
+    same descent geometry, same buffer chains). Both sides route through
+    shared windows; only the finishing path differs. Pass ``workers`` to
+    run the batched side through the PR 2 pool as well.
+    """
+    from repro.tree.export import tree_signature
+    from repro.tree.nodes import peek_node_id
+
+    sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    out: dict = {"n_sinks": n_sinks, "blockages": with_blockages}
+    for label, batched in (("batched", True), ("per_pair", False)):
+        cts = AggressiveBufferedCTS(
+            options=CTSOptions(
+                workers=workers if batched else 0,
+                shared_windows=True,
+                batch_route_finish=batched,
+            ),
+            blockages=blockages or None,
+        )
+        base = peek_node_id()
+        result = cts.synthesize(sinks, source)
+        out[f"{label}_tree"] = tree_signature(result.tree, base)
+        out[f"{label}_stats"] = result.merge_stats
+        out[f"{label}_levels"] = result.levels
+        out[f"{label}_sharing"] = result.route_sharing
+    return out
+
+
 def write_scaling_json(payload: dict, results_dir: str | Path | None = None) -> Path:
     """Emit ``BENCH_cts_scaling.json`` under ``benchmarks/results``."""
     if results_dir is None:
@@ -588,6 +719,35 @@ def render_scaling(payload: dict) -> str:
             title=(
                 "Route phase — per-pair windows vs level-scoped shared"
                 " grid cache + cross-pair batcher (bit-identical trees)"
+            ),
+        )
+    if payload.get("route_finish_speedups"):
+        finish_body = [
+            [
+                row["n_sinks"],
+                "yes" if row["blockages"] else "no",
+                round(row["per_pair_finish_route_s"], 3),
+                round(row["batched_finish_route_s"], 3),
+                round(row["route_finish_speedup"], 2),
+                row["cells_ranked"],
+                row["descent_sides"],
+            ]
+            for row in payload["route_finish_speedups"]
+        ]
+        table += "\n\n" + format_table(
+            [
+                "sinks",
+                "blockages",
+                "per-pair finish[s]",
+                "batched finish[s]",
+                "speedup",
+                "cells ranked",
+                "descents",
+            ],
+            finish_body,
+            title=(
+                "Route finishing — per-pair ranking/materialization vs"
+                " level-batched kernel (bit-identical trees)"
             ),
         )
     if payload.get("commit_speedups"):

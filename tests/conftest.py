@@ -53,3 +53,81 @@ def make_sink_pairs(n: int, area: float, seed: int = 0) -> list[tuple[Point, flo
 @pytest.fixture()
 def small_sinks():
     return make_sink_pairs(8, 18000.0, seed=3)
+
+
+# ----------------------------------------------------------------------
+# Property-test generators (hypothesis-style: seeded random case streams
+# with the adversarial structure — ties, degenerate windows — built in).
+# ----------------------------------------------------------------------
+
+
+def random_blocked_grid(gen, max_dim: int = 12, max_blockages: int = 3):
+    """A small random routing grid with random blockages.
+
+    Dimensions span the degenerate cases on purpose (down to a single
+    row/column); blockages are random boxes that may clip the window,
+    cover nothing, or wall off regions. At least one cell is always left
+    free.
+    """
+    from repro.core.maze_router import MazeGrid
+    from repro.geom.bbox import BBox
+
+    pitch = 100.0
+    nx = int(gen.integers(1, max_dim + 1))
+    ny = int(gen.integers(1, max_dim + 1))
+    grid = MazeGrid(BBox(0, 0, (nx - 1) * pitch, (ny - 1) * pitch), pitch)
+    assert (grid.nx, grid.ny) == (nx, ny)
+    for _ in range(int(gen.integers(0, max_blockages + 1))):
+        x0, y0 = gen.uniform(-pitch, nx * pitch), gen.uniform(-pitch, ny * pitch)
+        w, h = gen.uniform(0, nx * pitch / 2), gen.uniform(0, ny * pitch / 2)
+        grid.block(BBox(x0, y0, x0 + w, y0 + h))
+        if grid.blocked.all():
+            # Re-open a random cell so the grid stays usable.
+            free = (int(gen.integers(0, nx)), int(gen.integers(0, ny)))
+            grid.blocked[free] = False
+    return grid
+
+
+def random_ranking_case(gen, tie_levels: int = 3):
+    """One random merge-ranking case: two BFS fields + tie-rich profiles.
+
+    Returns ``(dist1, dist2, both, prof1, prof2)`` for a random blocked
+    grid whose two sources reach a common region. The profile delays are
+    drawn from ``tie_levels`` quantized values, so exact minimum-skew and
+    minimum-total ties are common — the adversarial structure the
+    documented tie order (min rounded skew, then total, then hops, then
+    earliest flat index) must resolve identically in the scalar loop and
+    the level-batched ranking pass.
+    """
+    while True:
+        grid = random_blocked_grid(gen)
+        free = np.argwhere(~grid.blocked)
+        if len(free) < 2:
+            continue
+        picks = gen.integers(0, len(free), 2)
+        c1 = tuple(int(v) for v in free[picks[0]])
+        c2 = tuple(int(v) for v in free[picks[1]])
+        dist1, dist2 = grid.bfs(c1), grid.bfs(c2)
+        both = (dist1 != -1) & (dist2 != -1)
+        if not both.any():
+            continue
+        max_k = int(max(dist1[both].max(), dist2[both].max()))
+        prof1 = gen.integers(0, tie_levels, max_k + 1) * 1e-12
+        prof2 = gen.integers(0, tie_levels, max_k + 1) * 1e-12
+        return dist1, dist2, both, prof1, prof2
+
+
+def random_descent_case(gen):
+    """One random descent case: a BFS field plus a reached target cell.
+
+    Returns ``(grid, dist, cell)`` with ``dist[cell] >= 0``; the start
+    may equal the target (zero-length descent).
+    """
+    while True:
+        grid = random_blocked_grid(gen)
+        free = np.argwhere(~grid.blocked)
+        start = tuple(int(v) for v in free[int(gen.integers(0, len(free)))])
+        dist = grid.bfs(start)
+        reached = np.argwhere(dist >= 0)
+        cell = tuple(int(v) for v in reached[int(gen.integers(0, len(reached)))])
+        return grid, dist, cell
