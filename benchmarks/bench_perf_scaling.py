@@ -42,6 +42,7 @@ from repro.evalx.perfstats import (
     PARALLEL_WORKERS,
     batch_finish_equivalence,
     batched_equivalence,
+    checkpoint_resume_equivalence,
     collect_scaling,
     parallel_equivalence,
     render_scaling,
@@ -190,6 +191,17 @@ def test_batched_finish_matches_per_pair():
     # Both sides routed the same pairs through the same shared windows.
     for key in ("pairs_routed", "windows_served", "curve_points"):
         assert payload["batched_sharing"][key] == payload["per_pair_sharing"][key]
+
+
+def test_checkpoint_resume_matches_clean():
+    """A synthesis killed at a level boundary and resumed from its
+    checkpoint is bit-identical to an uninterrupted run (200 sinks)."""
+    payload = checkpoint_resume_equivalence(n_sinks=200, with_blockages=True)
+    assert payload["clean_tree"] == payload["resumed_tree"]
+    assert payload["clean_stats"] == payload["resumed_stats"]
+    assert payload["clean_levels"] == payload["resumed_levels"]
+    assert payload["resumed_from"] == 2
+    assert payload["checkpoints_written"] == 2
 
 
 def test_batched_commit_matches_scalar():

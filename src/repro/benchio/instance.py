@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.geom.bbox import BBox
@@ -36,6 +37,76 @@ class BenchmarkInstance:
         names = [s.name for s in self.sinks]
         if len(set(names)) != len(names):
             raise ValueError(f"benchmark {self.name!r} has duplicate sink names")
+        for sink in self.sinks:
+            if not (
+                math.isfinite(sink.location.x)
+                and math.isfinite(sink.location.y)
+            ):
+                raise ValueError(
+                    f"benchmark {self.name!r}: sink {sink.name!r} has a"
+                    f" non-finite location ({sink.location.x}, {sink.location.y})"
+                )
+            if not math.isfinite(sink.cap) or sink.cap <= 0:
+                raise ValueError(
+                    f"benchmark {self.name!r}: sink {sink.name!r} has a"
+                    f" non-positive or non-finite load cap ({sink.cap})"
+                )
+        if self.source is not None and not (
+            math.isfinite(self.source.x) and math.isfinite(self.source.y)
+        ):
+            raise ValueError(
+                f"benchmark {self.name!r} has a non-finite source location"
+                f" ({self.source.x}, {self.source.y})"
+            )
+        self._validate_blockages()
+
+    def _validate_blockages(self) -> None:
+        """Reject blockages that are corrupt or cannot affect routing.
+
+        A zero-area or non-finite blockage is a parse bug, and one lying
+        entirely outside the die region (the sink/source bounding box,
+        expanded by half its larger span — routing windows never grow
+        further out) can only come from mismatched units; both fail with
+        the offending rectangle named rather than silently distorting or
+        not affecting the maze grids.
+        """
+        if not self.blockages:
+            return
+        points = [s.location for s in self.sinks]
+        if self.source is not None:
+            points.append(self.source)
+        die = BBox.of_points(points)
+        margin = 0.5 * max(die.width, die.height, 1.0)
+        reach = BBox(
+            die.xmin - margin,
+            die.ymin - margin,
+            die.xmax + margin,
+            die.ymax + margin,
+        )
+        for i, blk in enumerate(self.blockages):
+            corners = (blk.xmin, blk.ymin, blk.xmax, blk.ymax)
+            if not all(math.isfinite(c) for c in corners):
+                raise ValueError(
+                    f"benchmark {self.name!r}: blockage #{i} {corners}"
+                    " has non-finite corners"
+                )
+            if blk.xmax <= blk.xmin or blk.ymax <= blk.ymin:
+                raise ValueError(
+                    f"benchmark {self.name!r}: blockage #{i} {corners}"
+                    " has zero area"
+                )
+            if (
+                blk.xmax < reach.xmin
+                or blk.xmin > reach.xmax
+                or blk.ymax < reach.ymin
+                or blk.ymin > reach.ymax
+            ):
+                raise ValueError(
+                    f"benchmark {self.name!r}: blockage #{i} {corners}"
+                    " lies entirely outside the die region"
+                    f" ({reach.xmin:.0f}, {reach.ymin:.0f},"
+                    f" {reach.xmax:.0f}, {reach.ymax:.0f})"
+                )
 
     @property
     def n_sinks(self) -> int:

@@ -70,6 +70,38 @@ def _build_parser() -> argparse.ArgumentParser:
         " through the level-wide ranking/materialization kernel"
         " (bit-identical, for debugging/timing)",
     )
+    synth.add_argument(
+        "--strict",
+        action="store_true",
+        help="re-raise fast-path failures instead of degrading to the"
+        " bit-identical scalar fallbacks (CI equivalence runs)",
+    )
+    synth.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write a resumable snapshot after each topology level",
+    )
+    synth.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        help="restart synthesis from a checkpoint file (or a checkpoint"
+        " directory's latest level); the resumed tree is bit-identical"
+        " to an uninterrupted run",
+    )
+    synth.add_argument(
+        "--pool-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-batch worker-pool gather timeout before the supervision"
+        " ladder engages (0 waits forever)",
+    )
+    synth.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        help="deterministic fault-injection plan, site:index:mode,..."
+        " (testing the degradation ladder; see repro.evalx.faultinject)",
+    )
     synth.add_argument("--eval-dt", type=float, default=1.0, help="sim step (ps)")
     synth.add_argument("--json", metavar="PATH", help="save tree as JSON")
     synth.add_argument("--dot", metavar="PATH", help="save tree as Graphviz DOT")
@@ -145,6 +177,11 @@ def _cmd_synthesize(args) -> int:
         **({"batch_commit": False} if args.no_batch_commit else {}),
         **({"shared_windows": False} if args.no_shared_windows else {}),
         **({"batch_route_finish": False} if args.no_batch_route_finish else {}),
+        **({"strict": True} if args.strict else {}),
+        **({} if args.checkpoint_dir is None else {"checkpoint_dir": args.checkpoint_dir}),
+        **({} if args.resume_from is None else {"resume_from": args.resume_from}),
+        **({} if args.pool_timeout is None else {"pool_timeout": args.pool_timeout}),
+        **({} if args.fault_plan is None else {"fault_plan": args.fault_plan}),
     )
     cts = AggressiveBufferedCTS(options=options, blockages=inst.blockages or None)
     result = cts.synthesize(inst.sink_pairs(), inst.source)

@@ -43,6 +43,12 @@ from repro.core.binary_search import (
     ProbeRequest,
 )
 from repro.core.balance import snake_delay, SnakeResult
+from repro.core.resilience import Degradation, ResilienceLog
+from repro.core.checkpoint import (
+    CheckpointState,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.core.hstructure import (
     HStructureOutcome,
     PAIRINGS,
@@ -91,6 +97,11 @@ __all__ = [
     "ProbeRequest",
     "snake_delay",
     "SnakeResult",
+    "Degradation",
+    "ResilienceLog",
+    "CheckpointState",
+    "load_checkpoint",
+    "write_checkpoint",
     "HStructureOutcome",
     "PAIRINGS",
     "correct_pairing",

@@ -378,6 +378,14 @@ class BatchCommitScheduler:
 
     def __init__(self, router) -> None:
         self.router = router
+        #: Set once a vectorized round fails; every later round of this
+        #: scheduler answers scalar (one degradation event per cause).
+        self._degraded = False
+        self._plan = None
+        if router.options.fault_plan:
+            from repro.evalx.faultinject import active_plan
+
+            self._plan = active_plan(router.options.fault_plan)
 
     def run(
         self,
@@ -404,16 +412,33 @@ class BatchCommitScheduler:
                         slew_rows.append(row)
             results = {i: [None] * len(probes) for i, probes in gathered}
             n_rows = len(diff_rows) + len(slew_rows)
-            if n_rows < SCALAR_ROUND_ROWS:
+            answered = False
+            if n_rows >= SCALAR_ROUND_ROWS and not self._degraded:
+                try:
+                    if self._plan is not None:
+                        self._plan.consult("batch_commit")
+                    if diff_rows:
+                        self._answer_diff_rows(
+                            diff_rows, results, drive, input_slew
+                        )
+                    if slew_rows:
+                        self._answer_slew_rows(
+                            slew_rows, results, drive, input_slew
+                        )
+                    stats.batched_rounds += 1
+                    stats.batched_rows += n_rows
+                    answered = True
+                except Exception as exc:
+                    # Re-answering a partially scattered round scalar is
+                    # safe: the scalar evaluator recomputes every row
+                    # from the probe alone, overwriting any batched
+                    # answers with bit-identical values. ``requests()``
+                    # ran exactly once, so probe counters stay serial.
+                    self.router.resilience.note("batch_commit", exc)
+                    self._degraded = True
+            if not answered:
                 for i, slot, probe in diff_rows + slew_rows:
                     results[i][slot] = states[i]._evaluate_scalar(probe)
-            else:
-                if diff_rows:
-                    self._answer_diff_rows(diff_rows, results, drive, input_slew)
-                if slew_rows:
-                    self._answer_slew_rows(slew_rows, results, drive, input_slew)
-                stats.batched_rounds += 1
-                stats.batched_rows += n_rows
             next_active = []
             for i, __ in gathered:
                 state = states[i]

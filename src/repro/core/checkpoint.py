@@ -1,0 +1,298 @@
+"""Per-level checkpoint/resume for the synthesis flow.
+
+After each topology level the flow can snapshot everything the next
+level depends on (``CTSOptions.checkpoint_dir``): the live subtree
+roots, the node-id counter, the accumulated diagnostics and the loop
+state. ``CTSOptions.resume_from`` rebuilds that state and re-enters the
+level loop mid-tree; because node ids/names, stats and the engine's
+memoized timing are all restored or recomputed deterministically, the
+resumed tree is bit-identical to an uninterrupted run
+(``tree_signature`` equality is asserted in the tests).
+
+Format (version :data:`CHECKPOINT_VERSION`): one pickled dict per
+completed level, ``level_0007.ckpt``, written atomically (tmp +
+``os.replace``) so a kill mid-write never corrupts the latest good
+snapshot. The payload holds only primitives — node records, stat field
+dicts, digests — never live objects, so checkpoints survive refactors of
+the in-memory classes better than naive object pickles would.
+
+Compatibility is enforced by two digests: ``options_digest`` covers the
+**result-affecting** options only (resilience/performance knobs like
+``workers``, ``batch_commit`` or ``strict`` are excluded — every fast
+path is bit-identical to its fallback, so a checkpoint written by a
+parallel batched run may be resumed by a serial scalar one and vice
+versa), and ``sinks_digest`` covers the sink instance. A mismatch of
+either fails loudly with what differed.
+
+Tree encoding walks each subtree in child-order-preserving preorder
+(``TreeNode.walk`` reverses children — wrong here, attach order must
+survive the round trip) and records ``(id, kind, name, x, y, wire,
+cap, buffer, parent_id)`` rows; decoding re-creates nodes with their
+explicit ids (the counter is untouched) and re-attaches them in row
+order, which preserves child order because a parent's k-th child always
+precedes its (k+1)-th in preorder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from dataclasses import dataclass, fields
+
+from repro.core.batch_commit import CommitQueryStats
+from repro.core.grid_cache import SharingStats
+from repro.core.merge_routing import MergeStats
+from repro.core.options import CTSOptions
+from repro.core.resilience import Degradation
+from repro.core.topology import SubTree
+from repro.geom.point import Point
+from repro.tech.buffers import BufferLibrary
+from repro.timing.analysis import SubtreeBounds
+from repro.tree.nodes import NodeKind, TreeNode
+
+CHECKPOINT_VERSION = 1
+
+#: The options that change the synthesized tree. Everything else —
+#: parallelism, batching, resilience, validation — only changes how the
+#: same tree is computed, so it is deliberately outside the digest:
+#: checkpoints stay portable across execution modes.
+_RESULT_FIELDS = (
+    "slew_limit",
+    "slew_margin",
+    "cost_alpha",
+    "cost_beta",
+    "grid_resolution",
+    "max_grid_cells",
+    "target_cells_per_stage",
+    "sizing_lookahead",
+    "routing_margin_ratio",
+    "router",
+    "enable_balance",
+    "balance_headroom",
+    "snake_step",
+    "enable_binary_search",
+    "binary_search_iters",
+    "binary_search_tol",
+    "hstructure",
+    "max_unbuffered_cap_ratio",
+    "virtual_drive",
+    "source_slew",
+    "seed",
+)
+
+
+def options_digest(options: CTSOptions) -> str:
+    """Digest of the result-affecting options (see :data:`_RESULT_FIELDS`)."""
+    payload = repr(
+        [(name, getattr(options, name)) for name in _RESULT_FIELDS]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def sinks_digest(sinks: list[tuple[Point, float]]) -> str:
+    """Digest of the sink instance (positions and caps, bit-exact)."""
+    h = hashlib.sha256(struct.pack("<q", len(sinks)))
+    for point, cap in sinks:
+        h.update(struct.pack("<ddd", point.x, point.y, cap))
+    return h.hexdigest()
+
+
+@dataclass
+class CheckpointState:
+    """A decoded checkpoint, ready to re-enter the level loop."""
+
+    levels_done: int
+    n_flips: int
+    next_node_id: int
+    center: tuple[float, float]
+    subtrees: list[SubTree]
+    merge_stats: MergeStats
+    commit_queries: CommitQueryStats
+    route_sharing: SharingStats
+    degradations: list[Degradation]
+
+
+# ----------------------------------------------------------------------
+# Tree encoding
+# ----------------------------------------------------------------------
+
+
+def _iter_preorder(root: TreeNode):
+    """Preorder walk preserving child order (unlike ``TreeNode.walk``)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def _encode_subtree(subtree: SubTree) -> dict:
+    nodes = [
+        (
+            node.id,
+            node.kind.value,
+            node.name,
+            node.location.x,
+            node.location.y,
+            node.wire_to_parent,
+            node.cap,
+            node.buffer.name if node.buffer is not None else None,
+            node.parent.id if node.parent is not None else None,
+        )
+        for node in _iter_preorder(subtree.root)
+    ]
+    return {
+        "root": subtree.root.id,
+        "bounds": tuple(subtree.bounds),
+        "parts": (
+            None
+            if subtree.parts is None
+            else (subtree.parts[0].id, subtree.parts[1].id)
+        ),
+        "nodes": nodes,
+    }
+
+
+def _decode_subtree(data: dict, buffers: BufferLibrary) -> SubTree:
+    by_id: dict[int, TreeNode] = {}
+    for rec in data["nodes"]:
+        node_id, kind, name, x, y, wire, cap, buffer_name, parent_id = rec
+        node = TreeNode(
+            kind=NodeKind(kind),
+            location=Point(x, y),
+            name=name,
+            cap=cap,
+            buffer=buffers[buffer_name] if buffer_name is not None else None,
+            id=node_id,
+        )
+        by_id[node_id] = node
+        if parent_id is not None:
+            # Row order is preorder, so the parent exists and gets its
+            # children back in the original attach order.
+            by_id[parent_id].attach(node, wire)
+    parts = data["parts"]
+    return SubTree(
+        by_id[data["root"]],
+        SubtreeBounds(*data["bounds"]),
+        None if parts is None else (by_id[parts[0]], by_id[parts[1]]),
+    )
+
+
+def _stats_dict(stats) -> dict:
+    return {f.name: getattr(stats, f.name) for f in fields(stats)}
+
+
+# ----------------------------------------------------------------------
+# Write / load
+# ----------------------------------------------------------------------
+
+
+def checkpoint_filename(level: int) -> str:
+    return f"level_{level:04d}.ckpt"
+
+
+def write_checkpoint(
+    dirpath: str,
+    *,
+    level: int,
+    subtrees: list[SubTree],
+    n_flips: int,
+    next_node_id: int,
+    center: Point,
+    options: CTSOptions,
+    sinks: list[tuple[Point, float]],
+    merge_stats: MergeStats,
+    commit_queries: CommitQueryStats,
+    route_sharing: SharingStats,
+    degradations: list[Degradation],
+) -> str:
+    """Atomically snapshot the flow state after topology ``level``."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "options_digest": options_digest(options),
+        "sinks_digest": sinks_digest(sinks),
+        "levels_done": level,
+        "n_flips": n_flips,
+        "next_node_id": next_node_id,
+        "center": (center.x, center.y),
+        "subtrees": [_encode_subtree(s) for s in subtrees],
+        "merge_stats": _stats_dict(merge_stats),
+        "commit_queries": _stats_dict(commit_queries),
+        "route_sharing": _stats_dict(route_sharing),
+        "degradations": [
+            (d.component, d.reason, d.level) for d in degradations
+        ],
+    }
+    os.makedirs(dirpath, exist_ok=True)
+    path = os.path.join(dirpath, checkpoint_filename(level))
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def _resolve_checkpoint_path(path: str) -> str:
+    if os.path.isdir(path):
+        names = sorted(
+            n
+            for n in os.listdir(path)
+            if n.startswith("level_") and n.endswith(".ckpt")
+        )
+        if not names:
+            raise ValueError(f"no checkpoints (level_*.ckpt) in {path!r}")
+        return os.path.join(path, names[-1])
+    if not os.path.exists(path):
+        raise ValueError(f"checkpoint {path!r} does not exist")
+    return path
+
+
+def load_checkpoint(
+    path: str,
+    sinks: list[tuple[Point, float]],
+    options: CTSOptions,
+    buffers: BufferLibrary,
+) -> CheckpointState:
+    """Load and verify a checkpoint file (or a directory's latest).
+
+    Raises ``ValueError`` with what differed when the checkpoint was
+    written for different sinks or different result-affecting options.
+    """
+    path = _resolve_checkpoint_path(path)
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} has version {version!r}; this build "
+            f"reads version {CHECKPOINT_VERSION}"
+        )
+    if payload["sinks_digest"] != sinks_digest(sinks):
+        raise ValueError(
+            f"checkpoint {path!r} was written for a different sink "
+            "instance (positions/caps differ)"
+        )
+    if payload["options_digest"] != options_digest(options):
+        raise ValueError(
+            f"checkpoint {path!r} was written with different "
+            "result-affecting options (performance and resilience knobs "
+            "are exempt; topology/routing/timing knobs must match)"
+        )
+    route_sharing = SharingStats(**payload["route_sharing"])
+    return CheckpointState(
+        levels_done=payload["levels_done"],
+        n_flips=payload["n_flips"],
+        next_node_id=payload["next_node_id"],
+        center=payload["center"],
+        subtrees=[
+            _decode_subtree(data, buffers) for data in payload["subtrees"]
+        ],
+        merge_stats=MergeStats(**payload["merge_stats"]),
+        commit_queries=CommitQueryStats(**payload["commit_queries"]),
+        route_sharing=route_sharing,
+        degradations=[
+            Degradation(*item) for item in payload["degradations"]
+        ],
+    )

@@ -27,7 +27,7 @@ from repro.tech.presets import cts_buffer_library, default_technology
 from repro.tech.technology import Technology
 from repro.timing.analysis import LibraryTimingEngine
 from repro.tree.clocktree import ClockTree
-from repro.tree.nodes import TreeNode, make_sink, peek_node_id
+from repro.tree.nodes import TreeNode, make_sink, peek_node_id, set_node_id
 from repro.tree.validate import validate_tree
 
 
@@ -47,6 +47,13 @@ class SynthesisResult:
     phase_seconds: dict = field(default_factory=dict)
     commit_queries: dict = field(default_factory=dict)
     route_sharing: dict = field(default_factory=dict)
+    #: Degradation events of this run (fast paths that fell back to their
+    #: bit-identical scalar twins mid-synthesis; see repro.core.resilience).
+    #: A resumed run carries the interrupted run's events forward.
+    degradations: list = field(default_factory=list)
+    #: The completed topology level this run restarted after, when it
+    #: resumed from a checkpoint; None for a fresh synthesis.
+    resumed_from: int | None = None
 
     def report(self) -> str:
         stats = self.tree.stats()
@@ -58,6 +65,13 @@ class SynthesisResult:
             f" flippings: {self.n_flippings};"
             f" snaked merges: {self.merge_stats.n_snaked}",
         ]
+        if self.resumed_from is not None:
+            lines.append(f"resumed from checkpoint after level {self.resumed_from}")
+        for event in self.degradations:
+            lines.append(
+                f"degraded: {event.component} at level {event.level}"
+                f" ({event.reason})"
+            )
         return "\n".join(lines)
 
 
@@ -102,14 +116,22 @@ class AggressiveBufferedCTS:
         if len(sinks) < 1:
             raise ValueError("need at least one sink")
         t0 = time.perf_counter()
-        level = [self._leaf(pt, cap, i) for i, (pt, cap) in enumerate(sinks)]
-        center = centroid([s.point for s in level])
-        n_flips = 0
-        n_levels = 0
+        resilience = self.router.resilience
+        resilience.events.clear()
+        resumed_from: int | None = None
+        if self.options.resume_from is not None:
+            level, center, n_flips, n_levels = self._resume(sinks)
+            resumed_from = n_levels
+        else:
+            level = [self._leaf(pt, cap, i) for i, (pt, cap) in enumerate(sinks)]
+            center = centroid([s.point for s in level])
+            n_flips = 0
+            n_levels = 0
         executor = self._make_executor()
         try:
             while len(level) > 1:
                 n_levels += 1
+                resilience.level = n_levels
                 self.router.reset_grid_cache()
                 pairs, seed = greedy_matching(level, center, self._cost)
                 next_level: list[SubTree] = [seed] if seed else []
@@ -144,11 +166,16 @@ class AggressiveBufferedCTS:
                         n_flips += merged[1]
                         next_level.extend(merged[0])
                 level = next_level
+                if self.options.checkpoint_dir is not None:
+                    self._write_checkpoint(
+                        n_levels, level, n_flips, center, sinks
+                    )
         finally:
             if executor is not None:
                 if executor.fallback_reason is not None:
                     self.parallel_fallback_reason = executor.fallback_reason
                 executor.close()
+            resilience.level = 0
         root = level[0].root
         if source_location is None:
             source_location = root.location
@@ -166,6 +193,75 @@ class AggressiveBufferedCTS:
             phase_seconds=dict(self.router.phase_seconds),
             commit_queries=self.router.commit_queries.as_dict(),
             route_sharing=self.router.route_sharing.as_dict(),
+            degradations=list(resilience.events),
+            resumed_from=resumed_from,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def _write_checkpoint(
+        self,
+        n_levels: int,
+        level: list[SubTree],
+        n_flips: int,
+        center: Point,
+        sinks: list[tuple[Point, float]],
+    ) -> None:
+        """Snapshot the flow after one completed topology level."""
+        from repro.core.checkpoint import write_checkpoint
+
+        write_checkpoint(
+            self.options.checkpoint_dir,
+            level=n_levels,
+            subtrees=level,
+            n_flips=n_flips,
+            next_node_id=peek_node_id(),
+            center=center,
+            options=self.options,
+            sinks=sinks,
+            merge_stats=self.router.stats,
+            commit_queries=self.router.commit_queries,
+            route_sharing=self.router.route_sharing,
+            degradations=self.router.resilience.events,
+        )
+        if self.options.fault_plan:
+            from repro.evalx.faultinject import active_plan
+
+            # ``checkpoint:N:halt`` simulates a kill right after the N-th
+            # snapshot landed; SynthesisHalted is a BaseException, so it
+            # unwinds straight through every degradation guard.
+            active_plan(self.options.fault_plan).consult("checkpoint")
+
+    def _resume(
+        self, sinks: list[tuple[Point, float]]
+    ) -> tuple[list[SubTree], Point, int, int]:
+        """Rebuild the level-loop state from ``options.resume_from``.
+
+        The node-id counter is restored so post-resume nodes get the ids
+        and auto-names the uninterrupted run would have assigned, and the
+        timing engine's memoized caches are dropped (memoization is
+        order-independent, so recomputed entries are bit-identical).
+        """
+        from repro.core.checkpoint import load_checkpoint
+
+        state = load_checkpoint(
+            self.options.resume_from, sinks, self.options, self.buffers
+        )
+        set_node_id(state.next_node_id)
+        self.engine.clear_cache()
+        self.router.stats = state.merge_stats
+        self.router.commit_queries = state.commit_queries
+        # ``route_sharing`` is aliased by the router's grid cache — merge
+        # the saved counters in rather than swapping the object out.
+        self.router.route_sharing.merge(state.route_sharing)
+        self.router.resilience.events.extend(state.degradations)
+        return (
+            state.subtrees,
+            Point(*state.center),
+            state.n_flips,
+            state.levels_done,
         )
 
     # ------------------------------------------------------------------

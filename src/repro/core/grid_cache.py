@@ -543,6 +543,7 @@ def route_level(
     blockages: list[BBox],
     cache: GridCache | None = None,
     stats: SharingStats | None = None,
+    resilience=None,
 ) -> list[RouteResult | None]:
     """Route one topology level's merge pairs through shared windows.
 
@@ -553,11 +554,24 @@ def route_level(
     curve round, then the level-wide finishing kernel
     (:func:`_finish_level`) — or, with ``batch_route_finish=False``, the
     retained per-pair ranking and materialization.
+
+    ``resilience`` (a :class:`~repro.core.resilience.ResilienceLog`)
+    arms the finishing kernel's degradation guard: on an unexpected
+    exception the level's pairs re-finish one by one (bit-identical —
+    the kernel only regroups the per-pair work) and one
+    ``batch_route_finish`` degradation is noted. With ``None`` (pool
+    workers) the exception propagates to the supervised gather instead.
     """
     if cache is None:
         cache = GridCache(blockages)
     if stats is None:
         stats = cache.stats
+    plan = None
+    if options.fault_plan:
+        from repro.evalx.faultinject import active_plan
+
+        plan = active_plan(options.fault_plan)
+        plan.consult("shared_windows")
     results: list[RouteResult | None] = [None] * len(pairs)
     if not uses_maze_router(options, blockages):
         from repro.core.profile_router import route_profile
@@ -594,8 +608,19 @@ def route_level(
     _prime_tables(primed, library, options, stats)
 
     if options.batch_route_finish:
-        _finish_level(primed, library, options, stats, results)
-        return results
+        try:
+            if plan is not None:
+                plan.consult("route_finish")
+            _finish_level(primed, library, options, stats, results)
+            return results
+        except Exception as exc:
+            if resilience is None:
+                raise
+            resilience.note("batch_route_finish", exc)
+            # Replay the level per pair: the kernel had not touched
+            # ``results`` for any pair it did not fully finish, and
+            # per-pair finishing recomputes every slot from the intact
+            # search state anyway.
     for job, tables in primed:
         results[job.index] = finish_maze_route(
             job.search,

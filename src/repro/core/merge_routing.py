@@ -162,6 +162,11 @@ class MergeRouter:
         ) * 1.001
         #: Commit-phase query totals (scalar and batched drivers).
         self.commit_queries = CommitQueryStats()
+        #: Degradation events of this synthesis (fast paths falling back
+        #: to their bit-identical scalar twins); strict mode re-raises.
+        from repro.core.resilience import ResilienceLog
+
+        self.resilience = ResilienceLog(strict=options.strict)
         #: Wall-clock spent in the route and commit phases.
         self.phase_seconds = {"route": 0.0, "commit": 0.0}
         #: Shared-window / route-finishing counters. Pool workers route
@@ -296,7 +301,10 @@ class MergeRouter:
         default) routes the whole level through the cross-pair batcher
         over a fresh level scope of the tile cache; the per-pair fallback
         routes plan by plan. Both produce byte-identical results — the
-        knob only changes how much work is shared.
+        knob only changes how much work is shared, which is also what
+        makes the degradation guard safe: an exception in the batcher
+        (routing is pure, nothing was mutated) is noted on the resilience
+        log and the level replays per pair.
         """
         if self._grid_cache is None:
             return [
@@ -311,14 +319,31 @@ class MergeRouter:
                 None if plan is None or plan.coincident else (plan.term1, plan.term2)
                 for plan in plans
             ]
-            return shared_route_level(
-                pairs,
-                self.library,
-                self.options,
-                self.stage_length,
-                self.blockages,
-                cache=self._grid_cache,
-            )
+            try:
+                return shared_route_level(
+                    pairs,
+                    self.library,
+                    self.options,
+                    self.stage_length,
+                    self.blockages,
+                    cache=self._grid_cache,
+                    resilience=self.resilience,
+                )
+            except Exception as exc:
+                self.resilience.note("shared_windows", exc)
+                return [
+                    None
+                    if pair is None
+                    else route_pair(
+                        pair[0],
+                        pair[1],
+                        self.library,
+                        self.options,
+                        self.stage_length,
+                        self.blockages,
+                    )
+                    for pair in pairs
+                ]
         finally:
             self.phase_seconds["route"] += time.perf_counter() - t0
 

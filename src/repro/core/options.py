@@ -40,6 +40,24 @@ def _default_batch_route_finish() -> bool:
     )
 
 
+def _default_strict() -> bool:
+    """Honor ``REPRO_STRICT`` so CI equivalence legs re-raise fast-path
+    failures instead of silently degrading past them."""
+    return os.environ.get("REPRO_STRICT", "0").lower() in ("1", "true", "yes")
+
+
+def _default_fault_plan() -> str:
+    """Honor ``REPRO_FAULT_PLAN`` (``site:index:mode,...`` — see
+    :mod:`repro.evalx.faultinject`) so CI can run a chaos leg."""
+    return os.environ.get("REPRO_FAULT_PLAN", "")
+
+
+def _default_pool_timeout() -> float:
+    """Honor ``REPRO_POOL_TIMEOUT`` (seconds per gathered worker batch;
+    0 waits forever)."""
+    return float(os.environ.get("REPRO_POOL_TIMEOUT", "60") or 0.0)
+
+
 @dataclass
 class CTSOptions:
     """Knobs of the paper's flow, with the paper's defaults.
@@ -103,6 +121,23 @@ class CTSOptions:
     #   ranking + lockstep batched distance-field descent) instead of pair
     #   by pair (bit-identical to the per-pair finish; only engages under
     #   shared_windows; env REPRO_BATCH_ROUTE_FINISH=0 disables the default)
+    # --- resilience (fault-tolerant synthesis) ---------------------------
+    strict: bool = field(default_factory=_default_strict)
+    #   re-raise fast-path exceptions instead of degrading to the
+    #   bit-identical scalar fallbacks — CI equivalence legs must fail
+    #   loudly, never pass on a silently degraded run (env REPRO_STRICT=1)
+    pool_timeout: float = field(default_factory=_default_pool_timeout)
+    #   seconds to wait for one gathered worker batch before the
+    #   supervision ladder engages (backoff retry, then in-process
+    #   re-route); 0 waits forever (env REPRO_POOL_TIMEOUT)
+    fault_plan: str = field(default_factory=_default_fault_plan)
+    #   deterministic fault-injection plan consulted by pool workers and
+    #   kernel guards ("site:index:mode,..." — repro.evalx.faultinject);
+    #   empty = no injected faults (env REPRO_FAULT_PLAN)
+    checkpoint_dir: str | None = None  # write a resumable snapshot after
+    #   each topology level (repro.core.checkpoint); None disables
+    resume_from: str | None = None  # checkpoint file — or directory, the
+    #   highest completed level wins — to restart synthesis from mid-tree
     # --- misc ------------------------------------------------------------
     virtual_drive: str | None = None  # assumed driver type (default largest)
     source_slew: float = 60.0e-12  # slew of the ideal ramp at the clock source
@@ -126,6 +161,12 @@ class CTSOptions:
             raise ValueError("parallel_min_level_size must be >= 1")
         if self.batch_commit_min_pairs < 1:
             raise ValueError("batch_commit_min_pairs must be >= 1")
+        if self.pool_timeout < 0:
+            raise ValueError("pool_timeout must be >= 0 (0 waits forever)")
+        if self.checkpoint_dir is not None and not self.checkpoint_dir:
+            raise ValueError("checkpoint_dir must be a path or None")
+        if self.resume_from is not None and not self.resume_from:
+            raise ValueError("resume_from must be a path or None")
 
     @property
     def target_slew(self) -> float:

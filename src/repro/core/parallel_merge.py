@@ -48,7 +48,9 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.charlib.library import DelaySlewLibrary
@@ -83,6 +85,7 @@ def _init_worker(ctx_bytes: bytes) -> None:
 def _route_tasks(
     ctx: "WorkerContext",
     tasks: list[tuple[int, RouteTerminal, RouteTerminal]],
+    resilience=None,
 ) -> tuple[list[tuple[int, RouteResult]], "SharingStats"]:
     """Route one batch of (pair index, terminal, terminal) tasks.
 
@@ -103,6 +106,11 @@ def _route_tasks(
     :class:`~repro.core.grid_cache.SharingStats`, so the gather side can
     sum every batch's counters into the router's stats (integer sums
     commute, making the totals independent of worker scheduling).
+
+    ``resilience`` is forwarded to the shared route kernels: the parent's
+    in-process fallback passes its log (kernel failures degrade in place),
+    workers pass None (a worker exception propagates to the supervised
+    gather, which handles it as a pool degradation).
     """
     if ctx.options.shared_windows:
         from repro.core.grid_cache import GridCache, route_level
@@ -115,6 +123,7 @@ def _route_tasks(
             ctx.stage_length,
             ctx.blockages,
             cache=cache,
+            resilience=resilience,
         )
         routed = [(index, route) for (index, _, _), route in zip(tasks, routes)]
         return routed, cache.stats
@@ -136,12 +145,28 @@ def _route_tasks(
 
 
 def _route_batch(
+    ordinal: int,
     tasks: list[tuple[int, RouteTerminal, RouteTerminal]],
 ) -> tuple[list[tuple[int, RouteResult]], "SharingStats"]:
-    """Worker entry point: route one shipped batch with the worker ctx."""
+    """Worker entry point: route one shipped batch with the worker ctx.
+
+    ``ordinal`` is the batch's global submission number, assigned by the
+    parent — the fault-injection key that makes worker faults
+    deterministic regardless of which worker picks the batch up. Only
+    this entry point consults the plan, never :func:`_route_tasks`, so
+    the in-process recovery of a failed batch cannot re-fire its fault.
+    """
     ctx = _CTX
     if ctx is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("merge-routing worker used before initialization")
+    if ctx.options.fault_plan:
+        from repro.evalx.faultinject import active_plan
+
+        active_plan(ctx.options.fault_plan).consult(
+            "worker_batch",
+            ordinal,
+            sleep_s=4.0 * max(ctx.options.pool_timeout, 0.05),
+        )
     return _route_tasks(ctx, tasks)
 
 
@@ -153,6 +178,11 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+#: A broken pool is respawned at most this many times; one more break
+#: degrades routing to in-process permanently (recording why).
+MAX_POOL_RESPAWNS = 1
+
+
 class ParallelMergeExecutor:
     """A process pool that routes prepared merge plans deterministically.
 
@@ -160,6 +190,13 @@ class ParallelMergeExecutor:
     immediately (rather than mid-level) when a custom library or
     blockage set cannot cross a process boundary — but the pool itself
     is spawned lazily on the first routed level.
+
+    Gathering is supervised (see :meth:`route_plans`): a timed-out batch
+    is retried once with a doubled timeout, a broken pool is shut down
+    and respawned at most :data:`MAX_POOL_RESPAWNS` times, and any batch
+    the pool fails to deliver is re-routed through the in-process
+    :func:`_route_tasks` fallback — bit-identical by construction, since
+    results are indexed by pair and gathered in submission order.
     """
 
     def __init__(
@@ -172,6 +209,7 @@ class ParallelMergeExecutor:
             raise ValueError("parallel merge routing needs workers >= 2")
         self.workers = workers
         self.batch_size = batch_size
+        self.timeout = router.options.pool_timeout
         context = WorkerContext(
             router.library,
             router.options,
@@ -185,6 +223,12 @@ class ParallelMergeExecutor:
         self._fallback_ctx: WorkerContext | None = None
         #: Why routing dropped to in-process execution, if it did.
         self.fallback_reason: str | None = None
+        #: Where pool degradations are recorded (the router's log).
+        self._resilience = router.resilience
+        self._respawns = 0
+        #: Global batch submission counter — the deterministic key worker
+        #: fault injection fires on, and the label degradations carry.
+        self._batch_ordinal = 0
         #: Where batch SharingStats land on gather (the router's
         #: route-phase counters): each batch's counts are summed in, in
         #: submission order, so pooled totals match repeated runs exactly
@@ -240,30 +284,144 @@ class ParallelMergeExecutor:
             return results
         pool = self._ensure_pool()
         if pool is None:
-            if self._fallback_ctx is None:
-                self._fallback_ctx = pickle.loads(self._ctx_bytes)
-            routed, stats = _route_tasks(self._fallback_ctx, tasks)
+            routed, stats = self._route_in_process(tasks)
             for index, route in routed:
                 results[index] = route
             self._stats_sink.merge(stats)
             return results
         size = self._batch_size_for(len(tasks))
-        futures = [
-            pool.submit(_route_batch, tasks[k : k + size])
-            for k in range(0, len(tasks), size)
-        ]
-        for future in futures:
-            routed, stats = future.result()
-            for index, route in routed:
-                results[index] = route
-            self._stats_sink.merge(stats)
+        submitted = []
+        try:
+            for k in range(0, len(tasks), size):
+                batch = tasks[k : k + size]
+                ordinal = self._batch_ordinal
+                self._batch_ordinal += 1
+                submitted.append((pool.submit(_route_batch, ordinal, batch), batch, ordinal))
+            for future, batch, ordinal in submitted:
+                gathered = self._gather(future, batch, ordinal)
+                if gathered is None:
+                    gathered = self._route_in_process(batch)
+                routed, stats = gathered
+                for index, route in routed:
+                    results[index] = route
+                self._stats_sink.merge(stats)
+        except BaseException:
+            # Satellite: a failed level must not leak workers. Strict
+            # mode (or an unexpected gather error) unwinds through here —
+            # cancel what has not started, kill what has, and re-raise.
+            for future, _, _ in submitted:
+                future.cancel()
+            self._shutdown_pool(cancel=True)
+            raise
         return results
+
+    # ------------------------------------------------------------------
+    # Supervision ladder
+    # ------------------------------------------------------------------
+
+    def _gather(
+        self, future, batch, ordinal: int
+    ) -> tuple[list[tuple[int, "RouteResult"]], "SharingStats"] | None:
+        """One supervised gather; None means "re-route this in-process".
+
+        The ladder: a worker exception degrades just that batch; a
+        timeout gets one backoff retry at double the timeout; a broken
+        or cancelled pool is shut down and (at most once) respawned. A
+        degraded batch is recovered bit-identically by the caller, since
+        results are keyed by pair index, not by which path routed them.
+        """
+        timeout = self.timeout if self.timeout and self.timeout > 0 else None
+        try:
+            return future.result(timeout)
+        except (BrokenProcessPool, CancelledError) as exc:
+            # Once one future breaks the pool, every later future fails
+            # the same way; note the first cause only.
+            self._note_broken(exc, ordinal)
+            return None
+        except FuturesTimeout:
+            return self._retry(batch, ordinal, timeout)
+        except Exception as exc:
+            # The worker raised routing this batch (injected or real):
+            # the pool is still healthy, only this batch degrades.
+            self._resilience.note(
+                "pool", f"worker batch {ordinal} failed: {type(exc).__name__}: {exc}"
+            )
+            return None
+
+    def _retry(
+        self, batch, ordinal: int, timeout: float | None
+    ) -> tuple[list[tuple[int, "RouteResult"]], "SharingStats"] | None:
+        """Backoff retry of one timed-out batch (double the timeout)."""
+        pool = self._pool
+        if pool is None or timeout is None:  # pragma: no cover - guard
+            return None
+        try:
+            result = pool.submit(_route_batch, ordinal, batch).result(2 * timeout)
+        except FuturesTimeout:
+            # Twice over budget: assume the pool is wedged, not slow.
+            self._mark_broken(
+                f"batch {ordinal} timed out twice "
+                f"(pool_timeout={timeout:.3g}s, retry at {2 * timeout:.3g}s)"
+            )
+            return None
+        except (BrokenProcessPool, CancelledError) as exc:
+            self._note_broken(exc, ordinal)
+            return None
+        except Exception as exc:
+            self._resilience.note(
+                "pool",
+                f"worker batch {ordinal} failed on retry: "
+                f"{type(exc).__name__}: {exc}",
+            )
+            return None
+        self._resilience.note(
+            "pool",
+            f"batch {ordinal} timed out after {timeout:.3g}s; "
+            "backoff retry succeeded",
+        )
+        return result
+
+    def _note_broken(self, exc: BaseException, ordinal: int) -> None:
+        """Record a broken pool once; cascading failures stay silent."""
+        if self._pool is not None:
+            self._mark_broken(
+                f"{type(exc).__name__} gathering batch {ordinal}: {exc}"
+            )
+
+    def _mark_broken(self, reason: str) -> None:
+        """Shut the broken pool down; respawn budget decides permanence.
+
+        ``_ensure_pool`` respawns on the next level while the respawn
+        budget lasts; past it, ``fallback_reason`` pins routing
+        in-process for the rest of the synthesis.
+        """
+        self._shutdown_pool(cancel=True)
+        self._respawns += 1
+        if self._respawns > MAX_POOL_RESPAWNS:
+            self.fallback_reason = (
+                f"pool degraded permanently after {self._respawns} breaks: "
+                f"{reason}"
+            )
+        self._resilience.note("pool", reason)
+
+    def _shutdown_pool(self, cancel: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=not cancel, cancel_futures=cancel)
+
+    def _route_in_process(
+        self, tasks
+    ) -> tuple[list[tuple[int, "RouteResult"]], "SharingStats"]:
+        """The bit-identical in-process fallback for undelivered tasks."""
+        if self._fallback_ctx is None:
+            self._fallback_ctx = pickle.loads(self._ctx_bytes)
+        return _route_tasks(self._fallback_ctx, tasks, resilience=self._resilience)
 
     # ------------------------------------------------------------------
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "ParallelMergeExecutor":

@@ -1,0 +1,60 @@
+"""Structured degradation events for the fault-tolerant synthesis flow.
+
+Every fast path of the flow (worker pool, lockstep batched commit,
+shared-window routing, level-batched route finishing) retains a
+bit-identical scalar fallback. The guards around those paths call
+:meth:`ResilienceLog.note` when the fast path fails: in strict mode the
+triggering exception is re-raised (CI equivalence legs must never pass
+on a silently degraded run); otherwise a :class:`Degradation` is
+recorded and the caller replays the failed work through its fallback —
+the synthesized tree is the same either way, only slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One recovery: ``component`` fell back during topology ``level``.
+
+    Components match the knobs they degrade: ``pool`` (worker-pool
+    routing to in-process), ``batch_commit`` (vectorized commit rounds
+    to scalar probes), ``shared_windows`` (the cross-pair batcher to
+    per-pair windows), ``batch_route_finish`` (the level finishing
+    kernel to per-pair finishing).
+    """
+
+    component: str
+    reason: str
+    level: int  # 1-based topology level; 0 = outside the level loop
+
+
+class ResilienceLog:
+    """Degradation events of one synthesis run.
+
+    The flow updates :attr:`level` at the top of each topology level so
+    guards deeper in the stack need no level plumbing of their own.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.level = 0
+        self.events: list[Degradation] = []
+
+    def note(self, component: str, exc: BaseException | str) -> Degradation:
+        """Record one degradation — or re-raise it in strict mode."""
+        if isinstance(exc, BaseException):
+            if self.strict:
+                raise exc
+            reason = f"{type(exc).__name__}: {exc}"
+        else:
+            if self.strict:
+                raise RuntimeError(
+                    f"{component} degraded in strict mode: {exc}"
+                )
+            reason = str(exc)
+        event = Degradation(component, reason, self.level)
+        self.events.append(event)
+        return event

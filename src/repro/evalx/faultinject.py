@@ -1,0 +1,182 @@
+"""Deterministic fault injection for the resilience layer.
+
+A fault plan is a comma list of ``site:index:mode`` specs (env
+``REPRO_FAULT_PLAN``, or ``CTSOptions.fault_plan``), e.g.::
+
+    worker_batch:2:crash,batch_commit:1:raise,route_finish:0:timeout
+
+Sites are the supervised/guarded points of the synthesis flow:
+
+==================  ====================================================
+``worker_batch``    a pool worker about to route one shipped batch;
+                    ``index`` is the batch's global submission ordinal
+                    (assigned by the parent), so firing is deterministic
+                    regardless of worker scheduling — and a retried
+                    batch deterministically fails again
+``batch_commit``    one vectorized lockstep commit round; ``index``
+                    counts vectorized rounds per process
+``shared_windows``  one shared-window (maze) ``route_level`` call
+``route_finish``    one level-batched route-finishing kernel call
+``checkpoint``      one per-level checkpoint write (``halt`` here
+                    simulates a kill at a level boundary)
+==================  ====================================================
+
+Modes: ``raise`` throws :class:`FaultInjected`; ``crash`` kills the
+process with ``os._exit`` (the parent sees ``BrokenProcessPool``);
+``timeout`` sleeps long enough that both the supervised gather *and*
+its doubled backoff retry give up (then proceeds normally — the stale
+result is never read); ``halt`` throws :class:`SynthesisHalted`.
+
+Counter sites fire each spec at most once per process; explicit-ordinal
+sites (``worker_batch``) re-fire on every visit with the matching
+ordinal. Plans are per-process singletons keyed by their text
+(:func:`active_plan`), so a fork-spawned worker starts from the parent's
+state at fork time but counts its own visits afterwards.
+
+This module deliberately imports nothing from the rest of the package:
+the kernel guards import it lazily (and only when a plan is set), so the
+clean path pays nothing and no import cycle can form.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+SITES = (
+    "worker_batch",
+    "batch_commit",
+    "shared_windows",
+    "route_finish",
+    "checkpoint",
+)
+MODES = ("crash", "raise", "timeout", "halt")
+
+
+class FaultInjected(RuntimeError):
+    """The exception an injected ``raise`` fault throws."""
+
+
+class SynthesisHalted(BaseException):
+    """Raised by a ``halt`` fault to simulate a kill at a level boundary.
+
+    A ``BaseException`` on purpose: no degradation guard (they catch
+    ``Exception``) may swallow it — it must unwind the whole synthesis
+    the way SIGKILL would end the process, leaving the checkpoint
+    directory as the only survivor.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``site:index:mode`` entry."""
+
+    site: str
+    index: int
+    mode: str
+
+
+class FaultPlan:
+    """A parsed fault plan plus its per-process firing state."""
+
+    def __init__(self, specs: tuple[FaultSpec, ...]):
+        self.specs = specs
+        self._counts: dict[str, int] = {}
+        self._fired: set[FaultSpec] = set()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        specs = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            pieces = part.split(":")
+            if len(pieces) != 3:
+                raise ValueError(
+                    f"bad fault spec {part!r}: expected site:index:mode"
+                )
+            site, index_text, mode = pieces
+            if site not in SITES:
+                raise ValueError(
+                    f"bad fault spec {part!r}: unknown site {site!r}"
+                    f" (one of {', '.join(SITES)})"
+                )
+            if mode not in MODES:
+                raise ValueError(
+                    f"bad fault spec {part!r}: unknown mode {mode!r}"
+                    f" (one of {', '.join(MODES)})"
+                )
+            try:
+                index = int(index_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {part!r}: index must be an integer"
+                ) from None
+            if index < 0:
+                raise ValueError(f"bad fault spec {part!r}: index must be >= 0")
+            specs.append(FaultSpec(site, index, mode))
+        return cls(tuple(specs))
+
+    def consult(
+        self, site: str, ordinal: int | None = None, sleep_s: float = 1.0
+    ) -> None:
+        """Fire any spec matching this visit of ``site``.
+
+        Counter sites (``ordinal`` None) number their visits per process
+        and fire each spec at most once; explicit-ordinal sites pass the
+        visit number in and re-fire on every matching visit.
+        """
+        if ordinal is None:
+            n = self._counts.get(site, 0)
+            self._counts[site] = n + 1
+        else:
+            n = ordinal
+        for spec in self.specs:
+            if spec.site != site or spec.index != n:
+                continue
+            if ordinal is None:
+                if spec in self._fired:
+                    continue
+                self._fired.add(spec)
+            self._trigger(spec, sleep_s)
+
+    @staticmethod
+    def _trigger(spec: FaultSpec, sleep_s: float) -> None:
+        if spec.mode == "crash":
+            os._exit(17)
+        if spec.mode == "timeout":
+            # Sleep past the gather timeout AND the doubled backoff
+            # retry, then return normally; the parent stopped listening.
+            time.sleep(sleep_s)
+            return
+        if spec.mode == "halt":
+            raise SynthesisHalted(
+                f"injected halt at {spec.site}:{spec.index}"
+            )
+        raise FaultInjected(
+            f"injected fault {spec.site}:{spec.index}:{spec.mode}"
+        )
+
+
+_PLANS: dict[str, FaultPlan] = {}
+
+
+def active_plan(text: str) -> FaultPlan | None:
+    """The per-process :class:`FaultPlan` singleton for ``text``.
+
+    One plan object per distinct text, so every consult site of a run
+    shares the same counters and fired set; empty text means no plan.
+    """
+    if not text:
+        return None
+    plan = _PLANS.get(text)
+    if plan is None:
+        plan = _PLANS[text] = FaultPlan.parse(text)
+    return plan
+
+
+def reset_plans() -> None:
+    """Drop all per-process plan state (tests reuse plan texts)."""
+    _PLANS.clear()

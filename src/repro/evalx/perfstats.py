@@ -660,6 +660,73 @@ def batch_finish_equivalence(
     return out
 
 
+def checkpoint_resume_equivalence(
+    n_sinks: int = 200,
+    with_blockages: bool = True,
+    seed: int = 5,
+    halt_after: int = 2,
+) -> dict:
+    """Clean and halt-at-level-``halt_after``-then-resume runs of one
+    scenario, reduced to signatures.
+
+    Like :func:`parallel_equivalence` but for the checkpoint subsystem:
+    a synthesis is killed (injected ``checkpoint:N:halt``) right after
+    its ``halt_after``-th per-level snapshot landed, then resumed from
+    the checkpoint directory; ``clean_tree == resumed_tree`` asserts the
+    restart is bit-identical, including node ids/names created before
+    the kill.
+    """
+    import tempfile
+
+    from repro.evalx.faultinject import SynthesisHalted, reset_plans
+    from repro.tree.export import tree_signature
+    from repro.tree.nodes import peek_node_id
+
+    sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    out: dict = {"n_sinks": n_sinks, "blockages": with_blockages}
+
+    cts = AggressiveBufferedCTS(
+        options=CTSOptions(fault_plan="", strict=False),
+        blockages=blockages or None,
+    )
+    base = peek_node_id()
+    clean = cts.synthesize(sinks, source)
+    out["clean_tree"] = tree_signature(clean.tree, base)
+    out["clean_stats"] = clean.merge_stats
+    out["clean_levels"] = clean.levels
+
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        reset_plans()
+        base = peek_node_id()
+        halted = AggressiveBufferedCTS(
+            options=CTSOptions(
+                checkpoint_dir=ckpt_dir,
+                fault_plan=f"checkpoint:{halt_after - 1}:halt",
+                strict=False,
+            ),
+            blockages=blockages or None,
+        )
+        try:
+            halted.synthesize(sinks, source)
+            raise RuntimeError("injected halt did not fire")
+        except SynthesisHalted:
+            pass
+        out["checkpoints_written"] = len(os.listdir(ckpt_dir))
+        reset_plans()
+        resumer = AggressiveBufferedCTS(
+            options=CTSOptions(
+                resume_from=ckpt_dir, fault_plan="", strict=False
+            ),
+            blockages=blockages or None,
+        )
+        resumed = resumer.synthesize(sinks, source)
+    out["resumed_tree"] = tree_signature(resumed.tree, base)
+    out["resumed_stats"] = resumed.merge_stats
+    out["resumed_levels"] = resumed.levels
+    out["resumed_from"] = resumed.resumed_from
+    return out
+
+
 def write_scaling_json(payload: dict, results_dir: str | Path | None = None) -> Path:
     """Emit ``BENCH_cts_scaling.json`` under ``benchmarks/results``."""
     if results_dir is None:

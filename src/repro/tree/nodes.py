@@ -44,6 +44,19 @@ def peek_node_id() -> int:
     return _node_ids.peek()
 
 
+def set_node_id(value: int) -> None:
+    """Set the id the next created :class:`TreeNode` will receive.
+
+    Checkpoint resume restores the counter to its value at snapshot
+    time, so nodes created after the restart get the exact ids (and
+    auto-generated names) the uninterrupted run would have assigned —
+    a precondition for bit-identical resumed trees.
+    """
+    if value < 0:
+        raise ValueError("node id counter cannot go negative")
+    _node_ids._next = value
+
+
 class NodeKind(Enum):
     """Role of a node in the clock tree."""
 

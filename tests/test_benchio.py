@@ -127,7 +127,7 @@ class TestParsers:
             "1 1000 2000 35\n"
             "2 3000 4000 20\n"
             "num blockage 1\n"
-            "100 100 900 900\n"
+            "1500 2500 2500 3500\n"
         )
         inst = parse_ispd(path)
         assert inst.n_sinks == 2
@@ -156,3 +156,56 @@ class TestInstanceValidation:
         pairs = inst.sink_pairs()
         assert len(pairs) == 5
         assert pairs[0][0] == inst.sinks[0].location
+
+    def test_nan_sink_location_rejected(self):
+        sinks = [
+            Sink("a", Point(0.0, 0.0), 1e-15),
+            Sink("b", Point(float("nan"), 10.0), 1e-15),
+        ]
+        with pytest.raises(ValueError, match="'b'.*non-finite location"):
+            BenchmarkInstance("x", sinks)
+
+    def test_inf_sink_location_rejected(self):
+        sinks = [Sink("a", Point(float("inf"), 0.0), 1e-15)]
+        with pytest.raises(ValueError, match="'a'.*non-finite location"):
+            BenchmarkInstance("x", sinks)
+
+    def test_nonpositive_sink_cap_rejected(self):
+        for bad_cap in (0.0, -1e-15, float("nan"), float("inf")):
+            sinks = [Sink("a", Point(0, 0), bad_cap)]
+            with pytest.raises(ValueError, match="'a'.*load cap"):
+                BenchmarkInstance("x", sinks)
+
+    def test_nonfinite_source_rejected(self):
+        sinks = [Sink("a", Point(0, 0), 1e-15)]
+        with pytest.raises(ValueError, match="non-finite source"):
+            BenchmarkInstance("x", sinks, source=Point(float("nan"), 0.0))
+
+    def test_zero_area_blockage_rejected(self):
+        from repro.geom.bbox import BBox
+
+        sinks = [Sink("a", Point(0, 0), 1e-15), Sink("b", Point(100, 100), 1e-15)]
+        with pytest.raises(ValueError, match="blockage #0 .*zero area"):
+            BenchmarkInstance("x", sinks, blockages=[BBox(50, 50, 50, 90)])
+
+    def test_out_of_die_blockage_rejected(self):
+        from repro.geom.bbox import BBox
+
+        sinks = [Sink("a", Point(0, 0), 1e-15), Sink("b", Point(100, 100), 1e-15)]
+        with pytest.raises(ValueError, match="blockage #1 .*outside the die"):
+            BenchmarkInstance(
+                "x",
+                sinks,
+                blockages=[BBox(10, 10, 20, 20), BBox(9000, 9000, 9500, 9500)],
+            )
+
+    def test_in_die_blockage_accepted(self):
+        from repro.geom.bbox import BBox
+
+        sinks = [Sink("a", Point(0, 0), 1e-15), Sink("b", Point(100, 100), 1e-15)]
+        # Partially overhanging the sink bbox is fine — routing windows
+        # expand past it, so such a blockage still matters.
+        inst = BenchmarkInstance(
+            "x", sinks, blockages=[BBox(80, 80, 140, 140)]
+        )
+        assert len(inst.blockages) == 1

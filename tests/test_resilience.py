@@ -1,0 +1,352 @@
+"""Fault-tolerant synthesis: degradation, checkpoint/resume, fault plans.
+
+The contract under test: every fast path of the flow (worker pool,
+lockstep batched commit, shared-window routing, level-batched route
+finishing) degrades on failure to its retained scalar fallback with a
+bit-identical tree and exactly one recorded ``Degradation`` per cause;
+strict mode re-raises instead; and a synthesis killed at a level
+boundary resumes from its checkpoint bit-identically.
+
+Deterministic faults come from :mod:`repro.evalx.faultinject`
+(``site:index:mode`` plans); every test compares against a clean run's
+``tree_signature``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import AggressiveBufferedCTS, CTSOptions
+from repro.core.checkpoint import (
+    load_checkpoint,
+    options_digest,
+    sinks_digest,
+)
+from repro.evalx.faultinject import (
+    FaultInjected,
+    FaultPlan,
+    SynthesisHalted,
+    reset_plans,
+)
+from repro.geom.bbox import BBox
+from repro.tree.export import tree_signature
+from repro.tree.nodes import peek_node_id
+
+from tests.conftest import make_sink_pairs
+
+BLOCKAGES = [BBox(8000.0, 8000.0, 16000.0, 16000.0)]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_plans():
+    """Tests reuse plan texts; firing state must not leak between them."""
+    reset_plans()
+    yield
+    reset_plans()
+
+
+def synth(sinks, blockages=None, **option_overrides):
+    """One synthesis run plus the rebased signature of its tree.
+
+    Chaos/strict CI legs export ``REPRO_FAULT_PLAN``/``REPRO_STRICT``;
+    pin both so this module's reference runs stay clean under them.
+    """
+    option_overrides.setdefault("fault_plan", "")
+    option_overrides.setdefault("strict", False)
+    option_overrides.setdefault("workers", 0)
+    options = CTSOptions(**option_overrides)
+    cts = AggressiveBufferedCTS(options=options, blockages=blockages)
+    base = peek_node_id()
+    result = cts.synthesize(sinks)
+    return tree_signature(result.tree, base), result, cts
+
+
+POOL = dict(workers=2, parallel_min_level_size=1, merge_batch_size=2)
+
+
+def blocked_sinks(n, seed):
+    """Sinks clear of the blockage (terminals inside a macro are invalid)."""
+    clear = [bbox.expanded(1200.0) for bbox in BLOCKAGES]
+    sinks = [
+        (p, c)
+        for p, c in make_sink_pairs(n, 30000.0, seed=seed)
+        if not any(region.contains(p) for region in clear)
+    ]
+    assert len(sinks) >= 10
+    return sinks
+
+
+class TestFaultPlanGrammar:
+    def test_parse(self):
+        plan = FaultPlan.parse("worker_batch:2:crash, batch_commit:1:raise")
+        assert [(s.site, s.index, s.mode) for s in plan.specs] == [
+            ("worker_batch", 2, "crash"),
+            ("batch_commit", 1, "raise"),
+        ]
+
+    def test_empty_plan(self):
+        assert FaultPlan.parse("").specs == ()
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("worker_batch:2", "expected site:index:mode"),
+            ("warp_core:0:raise", "unknown site"),
+            ("batch_commit:0:explode", "unknown mode"),
+            ("batch_commit:x:raise", "index must be an integer"),
+            ("batch_commit:-1:raise", "index must be >= 0"),
+        ],
+    )
+    def test_bad_specs_rejected(self, text, message):
+        with pytest.raises(ValueError, match=message):
+            FaultPlan.parse(text)
+
+    def test_counter_site_fires_once(self):
+        plan = FaultPlan.parse("batch_commit:1:raise")
+        plan.consult("batch_commit")  # visit 0
+        with pytest.raises(FaultInjected):
+            plan.consult("batch_commit")  # visit 1 fires
+        plan.consult("batch_commit")  # never re-fires
+
+    def test_ordinal_site_refires(self):
+        plan = FaultPlan.parse("worker_batch:3:raise")
+        plan.consult("worker_batch", 2)
+        with pytest.raises(FaultInjected):
+            plan.consult("worker_batch", 3)
+        with pytest.raises(FaultInjected):
+            plan.consult("worker_batch", 3)  # a retried batch fails again
+
+
+class TestPoolDegradation:
+    def _clean_and_faulted(self, fault_plan, n=16, **overrides):
+        sinks = make_sink_pairs(n, 30000.0, seed=21)
+        clean_sig, clean, _ = synth(sinks)
+        reset_plans()
+        sig, result, cts = synth(
+            sinks, fault_plan=fault_plan, **{**POOL, **overrides}
+        )
+        assert sig == clean_sig
+        return result, cts
+
+    def test_worker_exception_degrades_one_batch(self):
+        result, cts = self._clean_and_faulted("worker_batch:1:raise")
+        assert [d.component for d in result.degradations] == ["pool"]
+        assert "worker batch 1 failed" in result.degradations[0].reason
+        assert cts.parallel_fallback_reason is None
+
+    def test_worker_crash_respawns_pool(self):
+        result, cts = self._clean_and_faulted("worker_batch:2:crash")
+        assert [d.component for d in result.degradations] == ["pool"]
+        # One break is within the respawn budget: not permanent.
+        assert cts.parallel_fallback_reason is None
+
+    def test_second_crash_degrades_permanently(self):
+        result, cts = self._clean_and_faulted(
+            "worker_batch:0:crash,worker_batch:6:crash"
+        )
+        assert [d.component for d in result.degradations] == ["pool", "pool"]
+        assert cts.parallel_fallback_reason is not None
+        assert "permanently" in cts.parallel_fallback_reason
+
+    def test_timeout_backoff_then_degrade(self):
+        # The injected timeout sleeps past the retry's doubled budget,
+        # so the ladder concludes the pool is wedged and replaces it.
+        result, __ = self._clean_and_faulted(
+            "worker_batch:2:timeout", pool_timeout=0.2
+        )
+        assert [d.component for d in result.degradations] == ["pool"]
+        assert "timed out twice" in result.degradations[0].reason
+
+    def test_strict_mode_reraises_and_cleans_up(self, monkeypatch):
+        import repro.core.cts as cts_mod
+
+        captured = []
+        original = cts_mod.AggressiveBufferedCTS._make_executor
+
+        def capture(self):
+            executor = original(self)
+            captured.append(executor)
+            return executor
+
+        monkeypatch.setattr(
+            cts_mod.AggressiveBufferedCTS, "_make_executor", capture
+        )
+        sinks = make_sink_pairs(16, 30000.0, seed=21)
+        with pytest.raises(RuntimeError, match="strict mode"):
+            synth(sinks, fault_plan="worker_batch:1:raise", strict=True, **POOL)
+        # The failed level released its pool (no leaked workers).
+        assert captured and captured[0]._pool is None
+
+
+class TestKernelDegradation:
+    def _clean_and_faulted(self, fault_plan, **overrides):
+        sinks = blocked_sinks(18, seed=22)
+        clean_sig, __, __ = synth(sinks, blockages=BLOCKAGES)
+        reset_plans()
+        sig, result, __ = synth(
+            sinks, blockages=BLOCKAGES, fault_plan=fault_plan, **overrides
+        )
+        assert sig == clean_sig
+        return result
+
+    def test_batch_commit_degrades_scalar(self, monkeypatch):
+        import repro.core.batch_commit as bc
+
+        # Small instances would answer every round scalar anyway; force
+        # the vectorized path so the guard actually runs.
+        monkeypatch.setattr(bc, "SCALAR_ROUND_ROWS", 1)
+        result = self._clean_and_faulted("batch_commit:1:raise")
+        assert [d.component for d in result.degradations] == ["batch_commit"]
+        assert result.degradations[0].level >= 1
+
+    def test_shared_windows_degrades_per_pair(self):
+        result = self._clean_and_faulted("shared_windows:1:raise")
+        assert [d.component for d in result.degradations] == ["shared_windows"]
+
+    def test_route_finish_degrades_per_pair(self):
+        result = self._clean_and_faulted("route_finish:0:raise")
+        assert [d.component for d in result.degradations] == [
+            "batch_route_finish"
+        ]
+
+    def test_strict_mode_reraises_kernel_fault(self):
+        sinks = blocked_sinks(18, seed=22)
+        with pytest.raises(FaultInjected):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                fault_plan="route_finish:0:raise",
+                strict=True,
+            )
+
+
+class TestCheckpointResume:
+    def _sinks(self):
+        return blocked_sinks(20, seed=23)
+
+    def test_halt_then_resume_bit_identical(self, tmp_path):
+        sinks = self._sinks()
+        clean_sig, clean, __ = synth(sinks, blockages=BLOCKAGES)
+        reset_plans()
+        ckpt_dir = str(tmp_path / "ckpt")
+        # Capture the base BEFORE the interrupted run: nodes created
+        # before the halt keep their original ids through the resume.
+        base = peek_node_id()
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:1:halt",
+            )
+        written = sorted(os.listdir(ckpt_dir))
+        assert written == ["level_0001.ckpt", "level_0002.ckpt"]
+        reset_plans()
+        options = CTSOptions(resume_from=ckpt_dir, fault_plan="", strict=False)
+        cts = AggressiveBufferedCTS(options=options, blockages=BLOCKAGES)
+        resumed = cts.synthesize(sinks)
+        assert resumed.resumed_from == 2
+        assert resumed.levels == clean.levels
+        assert tree_signature(resumed.tree, base) == clean_sig
+        assert resumed.merge_stats == clean.merge_stats
+
+    def test_resume_across_execution_modes(self, tmp_path):
+        """A checkpoint from a batched run resumes under scalar knobs."""
+        sinks = self._sinks()
+        clean_sig, __, __ = synth(sinks, blockages=BLOCKAGES)
+        ckpt_dir = str(tmp_path / "ckpt")
+        base = peek_node_id()
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:0:halt",
+            )
+        reset_plans()
+        sig, resumed, __ = synth(
+            sinks,
+            blockages=BLOCKAGES,
+            resume_from=ckpt_dir,
+            batch_commit=False,
+            shared_windows=False,
+        )
+        assert resumed.resumed_from == 1
+        assert tree_signature(resumed.tree, base) == clean_sig
+
+    def test_resume_rejects_different_sinks(self, tmp_path):
+        sinks = self._sinks()
+        ckpt_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:0:halt",
+            )
+        other = blocked_sinks(20, seed=99)
+        with pytest.raises(ValueError, match="different sink instance"):
+            synth(other, blockages=BLOCKAGES, resume_from=ckpt_dir)
+
+    def test_resume_rejects_different_result_options(self, tmp_path):
+        sinks = self._sinks()
+        ckpt_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:0:halt",
+            )
+        with pytest.raises(ValueError, match="different\n?.*options"):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                resume_from=ckpt_dir,
+                grid_resolution=50,
+            )
+
+    def test_resume_missing_path_rejected(self, tmp_path):
+        sinks = self._sinks()
+        with pytest.raises(ValueError, match="does not exist"):
+            synth(sinks, resume_from=str(tmp_path / "nope.ckpt"))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="no checkpoints"):
+            synth(sinks, resume_from=str(empty))
+
+    def test_digests_are_mode_independent(self):
+        sinks = self._sinks()
+        a = CTSOptions(workers=0, batch_commit=True, strict=False)
+        b = CTSOptions(
+            workers=4, batch_commit=False, strict=True, pool_timeout=5.0
+        )
+        assert options_digest(a) == options_digest(b)
+        assert options_digest(a) != options_digest(
+            CTSOptions(grid_resolution=50)
+        )
+        assert sinks_digest(sinks) == sinks_digest(list(sinks))
+
+    def test_loaded_state_roundtrips(self, tmp_path):
+        sinks = self._sinks()
+        ckpt_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:1:halt",
+            )
+        options = CTSOptions(fault_plan="", strict=False)
+        cts = AggressiveBufferedCTS(options=options, blockages=BLOCKAGES)
+        state = load_checkpoint(ckpt_dir, sinks, options, cts.buffers)
+        assert state.levels_done == 2
+        assert state.next_node_id <= peek_node_id()
+        for subtree in state.subtrees:
+            # Child order survived the round trip (walk() reverses it,
+            # which is exactly why the encoder must not use walk()).
+            for node in subtree.root.walk():
+                for child in node.children:
+                    assert child.parent is node
