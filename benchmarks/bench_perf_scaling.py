@@ -62,7 +62,7 @@ def test_perf_scaling():
     assert samples, "no scenarios ran"
     assert all(s["seconds"] > 0 for s in samples)
     # Both blockage modes covered at every size in the ladder.
-    sizes = set(scaling_sizes())
+    sizes = sorted(set(scaling_sizes()))
     ran = {(s["n_sinks"], s["blockages"]) for s in samples}
     assert {(n, b) for n in sizes for b in (False, True)} <= ran
 

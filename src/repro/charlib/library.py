@@ -119,7 +119,9 @@ class DelaySlewLibrary:
                 fits = self.single[(drive, load)]
                 missing = set(SINGLE_FUNCTIONS) - set(fits)
                 if missing:
-                    raise ValueError(f"{(drive, load)} missing fits: {missing}")
+                    raise ValueError(
+                        f"{(drive, load)} missing fits: {sorted(missing)}"
+                    )
             if drive not in self.branch:
                 raise ValueError(f"missing branch fits for {drive}")
 

@@ -141,6 +141,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="finish shared-window maze routes pair by pair instead of"
         " through the level-wide ranking/materialization kernel",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check determinism and kernel-contract rails"
+        " (repro-lint; see ANALYSIS.md)",
+    )
+    from repro.lintx.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -262,12 +271,19 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lintx.cli import run
+
+    return run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "synthesize": _cmd_synthesize,
         "characterize": _cmd_characterize,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -82,9 +82,42 @@ _RESULT_FIELDS = (
     "seed",
 )
 
+#: The options deliberately *excluded* from the digest: execution-mode
+#: knobs whose every fast path is bit-identical to its fallback, plus
+#: the resilience plumbing itself. The split is explicit (not "whatever
+#: is left over") so that a new knob must be classified on day one —
+#: repro-lint rule CON305 fails the build if a ``CTSOptions`` field is
+#: in neither list, and :func:`options_digest` refuses to run on an
+#: incomplete partition.
+_EXECUTION_FIELDS = (
+    "workers",
+    "merge_batch_size",
+    "parallel_min_level_size",
+    "batch_commit",
+    "batch_commit_min_pairs",
+    "shared_windows",
+    "batch_route_finish",
+    "strict",
+    "pool_timeout",
+    "fault_plan",
+    "checkpoint_dir",
+    "resume_from",
+    "validate_every_merge",
+)
+
 
 def options_digest(options: CTSOptions) -> str:
     """Digest of the result-affecting options (see :data:`_RESULT_FIELDS`)."""
+    unclassified = [
+        f.name
+        for f in fields(options)
+        if f.name not in _RESULT_FIELDS and f.name not in _EXECUTION_FIELDS
+    ]
+    if unclassified:
+        raise ValueError(
+            "CTSOptions fields missing a digest classification "
+            f"(_RESULT_FIELDS or _EXECUTION_FIELDS): {unclassified}"
+        )
     payload = repr(
         [(name, getattr(options, name)) for name in _RESULT_FIELDS]
     )

@@ -1,0 +1,22 @@
+"""repro-lint: static enforcement of the bit-identical fast-path
+architecture.
+
+See ANALYSIS.md for the rule catalogue, the suppression grammar and the
+"adding a new kernel" checklist. Public API:
+
+- :func:`repro.lintx.core.run_lint` — scan paths, get a
+  :class:`~repro.lintx.core.LintResult`;
+- :func:`repro.lintx.core.all_rules` — the registered rule set;
+- :data:`repro.lintx.contracts.KERNEL_CONTRACTS` — the declared
+  safety-rail table every kernel knob is checked against.
+"""
+
+from repro.lintx.core import (
+    Finding,
+    LintResult,
+    Rule,
+    all_rules,
+    run_lint,
+)
+
+__all__ = ["Finding", "LintResult", "Rule", "all_rules", "run_lint"]

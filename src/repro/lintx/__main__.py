@@ -1,0 +1,6 @@
+"""``python -m repro.lintx`` — run the analyzer."""
+
+from repro.lintx.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

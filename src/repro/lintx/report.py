@@ -1,0 +1,60 @@
+"""Human and JSON reporters for repro-lint.
+
+Both render the same :class:`~repro.lintx.core.LintResult`; CI consumes
+``--json`` (stable schema, version field), humans get one
+``path:line:col: severity RULE message`` line per finding plus a
+summary. One entry point, two audiences.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lintx.core import LintResult, all_rules
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(result: LintResult, *, verbose: bool = False) -> str:
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts()
+    summary = (
+        f"{result.files_scanned} files scanned: "
+        f"{counts['error']} errors, {counts['warning']} warnings,"
+        f" {counts['info']} infos"
+    )
+    if result.suppressed:
+        summary += f" ({result.suppressed} suppressed)"
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "counts": result.counts(),
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    lines = ["repro-lint rules:", ""]
+    for rule in all_rules():
+        lines.append(f"  {rule.id}  [{rule.severity}]")
+        lines.append(f"      {rule.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Pool-picklability rules (``PIK2xx``).
+
+The parallel route phase ships a :class:`~repro.core.parallel_merge.
+WorkerContext` (and everything transitively reachable from it, plus
+``route_pair``'s arguments and results) through ``pickle`` into spawned
+workers. A lambda, a locally defined function, an open file handle or a
+synchronization primitive stored on any of those classes would not fail
+at import time or in the serial tests — it would break the first
+*pooled* run, at pickling time, deep inside ``ProcessPoolExecutor``.
+This pass finds the reachable class set statically and flags those
+attributes at the definition site.
+
+Reachability: roots are the ``WorkerContext`` dataclass fields and the
+annotations of ``route_pair`` (parameters and return) in
+``core/merge_routing.py``; from each reached class the pass follows
+dataclass/``__init__`` attribute annotations and ``self.x = Class(...)``
+constructions, by class name, across every scanned module.
+
+A class that customizes pickling (``__getstate__`` / ``__reduce__`` /
+``__reduce_ex__``) is trusted to exclude its unpicklable state —
+``PolynomialFit`` re-derives its compiled evaluators this way — and is
+skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lintx.core import Finding, Project, Rule, register
+from repro.lintx.rules_determinism import ImportMap
+
+#: Constructors whose results can never cross a pickle boundary.
+_UNPICKLABLE_CALLS = {
+    "open": "an open file handle",
+    "threading.Lock": "a lock",
+    "threading.RLock": "a lock",
+    "threading.Condition": "a condition variable",
+    "threading.Event": "an event",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a semaphore",
+    "threading.Thread": "a thread",
+    "socket.socket": "a socket",
+    "subprocess.Popen": "a subprocess handle",
+    "multiprocessing.Lock": "a lock",
+    "multiprocessing.Queue": "an IPC queue",
+    "concurrent.futures.ProcessPoolExecutor": "an executor",
+    "concurrent.futures.ThreadPoolExecutor": "an executor",
+}
+
+_PICKLE_HOOKS = ("__getstate__", "__reduce__", "__reduce_ex__")
+
+
+def _annotation_names(node: ast.expr | None) -> set[str]:
+    """Every identifier inside an annotation expression.
+
+    String annotations (``"WorkerContext"``) are parsed; subscripted
+    containers (``list[BBox]``, ``Optional[TreeNode]``) contribute every
+    inner name, which over-approximates reachability — exactly right for
+    a safety rule.
+    """
+    names: set[str] = set()
+    if node is None:
+        return names
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return names
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            try:
+                inner = ast.parse(sub.value, mode="eval").body
+            except SyntaxError:
+                continue
+            for n in ast.walk(inner):
+                if isinstance(n, ast.Name):
+                    names.add(n.id)
+    return names
+
+
+class _ClassInfo:
+    def __init__(self, path: str, node: ast.ClassDef, imports: ImportMap):
+        self.path = path
+        self.node = node
+        self.imports = imports
+
+    def referenced_classes(self) -> set[str]:
+        """Class names this class can hold instances of."""
+        names: set[str] = set()
+        for base in self.node.bases:
+            names.update(_annotation_names(base))
+        for stmt in self.node.body:
+            if isinstance(stmt, ast.AnnAssign):
+                names.update(_annotation_names(stmt.annotation))
+        for method in self.node.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            for sub in ast.walk(method):
+                if (
+                    isinstance(sub, ast.Assign)
+                    and isinstance(sub.value, ast.Call)
+                    and isinstance(sub.value.func, ast.Name)
+                    and any(
+                        isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"
+                        for t in sub.targets
+                    )
+                ):
+                    names.add(sub.value.func.id)
+                if isinstance(sub, ast.AnnAssign) and isinstance(
+                    sub.target, ast.Attribute
+                ):
+                    names.update(_annotation_names(sub.annotation))
+        return names
+
+    def has_pickle_hook(self) -> bool:
+        return any(
+            isinstance(stmt, ast.FunctionDef) and stmt.name in _PICKLE_HOOKS
+            for stmt in self.node.body
+        )
+
+
+@register
+class PoolPicklabilityRule(Rule):
+    id = "PIK201"
+    severity = "error"
+    summary = (
+        "WorkerContext/route_pair-reachable class stores state that"
+        " cannot cross the process-pool pickle boundary"
+    )
+
+    #: Anchor names; the rest of the reachable set is derived.
+    ROOT_CLASSES = ("WorkerContext",)
+    ROOT_FUNCTIONS = ("route_pair",)
+
+    def check_project(self, project: Project) -> list[Finding]:
+        classes: dict[str, list[_ClassInfo]] = {}
+        module_mutables: dict[str, set[str]] = {}
+        root_names: set[str] = set()
+
+        for source in project.files:
+            if source.tree is None:
+                continue
+            imports = ImportMap(source.tree)
+            mutables: set[str] = set()
+            for stmt in source.tree.body:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, (ast.List, ast.Dict, ast.Set)
+                ):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            mutables.add(target.id)
+            module_mutables[source.path] = mutables
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, []).append(
+                        _ClassInfo(source.path, node, imports)
+                    )
+                elif (
+                    isinstance(node, ast.FunctionDef)
+                    and node.name in self.ROOT_FUNCTIONS
+                ):
+                    args = node.args
+                    for arg in (
+                        args.posonlyargs + args.args + args.kwonlyargs
+                    ):
+                        root_names.update(_annotation_names(arg.annotation))
+                    root_names.update(_annotation_names(node.returns))
+        root_names.update(self.ROOT_CLASSES)
+
+        if not any(name in classes for name in self.ROOT_CLASSES):
+            return []  # no pool boundary in the scanned tree
+
+        reachable: set[str] = set()
+        frontier = [name for name in sorted(root_names) if name in classes]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            for info in classes[name]:
+                for ref in sorted(info.referenced_classes()):
+                    if ref in classes and ref not in reachable:
+                        frontier.append(ref)
+
+        findings: list[Finding] = []
+        for name in sorted(reachable):
+            for info in classes[name]:
+                if info.has_pickle_hook():
+                    continue
+                findings.extend(
+                    self._check_class(info, module_mutables[info.path])
+                )
+        return findings
+
+    def _check_class(
+        self, info: _ClassInfo, module_mutables: set[str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        cls = info.node
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                self.finding(
+                    info.path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"{cls.name} is shipped to pool workers by pickle"
+                    f" but stores {what}; the first parallel run would"
+                    " raise inside ProcessPoolExecutor (define"
+                    " __getstate__ to exclude it, or drop it)",
+                )
+            )
+
+        for stmt in cls.body:
+            # class attribute / dataclass default that is itself a lambda
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Lambda
+            ):
+                flag(stmt, "a lambda as a class attribute")
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and stmt.value is not None
+                and isinstance(stmt.value, ast.Lambda)
+            ):
+                flag(stmt, "a lambda as a field default")
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                call = stmt.value
+                if (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "field"
+                ):
+                    for kw in call.keywords:
+                        if kw.arg == "default" and isinstance(
+                            kw.value, ast.Lambda
+                        ):
+                            flag(stmt, "a lambda as a field default")
+
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            local_defs = {
+                sub.name
+                for sub in ast.walk(method)
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and sub is not method
+            }
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if not any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for t in sub.targets
+                ):
+                    continue
+                value = sub.value
+                if isinstance(value, ast.Lambda):
+                    flag(sub, "a lambda on self")
+                elif isinstance(value, ast.Name):
+                    if value.id in local_defs:
+                        flag(sub, f"the local function {value.id}() on self")
+                    elif value.id in module_mutables:
+                        flag(
+                            sub,
+                            f"the module-level mutable {value.id} on self"
+                            " (after fork/spawn the worker's copy"
+                            " silently diverges from the parent's)",
+                        )
+                elif isinstance(value, ast.Call):
+                    name = info.imports.resolve(value.func)
+                    if name in _UNPICKLABLE_CALLS:
+                        flag(sub, f"{_UNPICKLABLE_CALLS[name]} ({name}) on self")
+        return findings
