@@ -142,6 +142,66 @@ def _build_parser() -> argparse.ArgumentParser:
         " through the level-wide ranking/materialization kernel",
     )
 
+    batch = sub.add_parser(
+        "run-batch",
+        help="run a manifest of synthesis jobs under supervision"
+        " (per-job subprocess, heartbeat watchdog, checkpoint-backed"
+        " retry, quarantine; see RESILIENCE.md)",
+    )
+    batch.add_argument(
+        "manifest",
+        nargs="?",
+        metavar="MANIFEST.json",
+        help="batch manifest (jobs, options, policy; repro.jobs.manifest)",
+    )
+    batch.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="fresh directory for checkpoints, heartbeats, logs and"
+        " results (default: <manifest-stem>_run)",
+    )
+    batch.add_argument(
+        "--report",
+        metavar="DIR",
+        default=None,
+        help="summarize an existing run directory's events.jsonl"
+        " instead of running a batch",
+    )
+    batch.add_argument(
+        "--job-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per job attempt before SIGKILL"
+        " (0 disables; env REPRO_JOB_DEADLINE)",
+    )
+    batch.add_argument(
+        "--job-mem-mb",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="peak-RSS budget per job attempt before SIGKILL"
+        " (0 disables; env REPRO_JOB_MEM_MB)",
+    )
+    batch.add_argument(
+        "--job-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per job after the first attempt, each resuming"
+        " from the last valid checkpoint, before quarantine"
+        " (env REPRO_JOB_RETRIES)",
+    )
+    batch.add_argument(
+        "--heartbeat-stall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds without a heartbeat change before a job counts as"
+        " hung and is killed (0 disables; env REPRO_HEARTBEAT_STALL)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="statically check determinism and kernel-contract rails"
@@ -271,6 +331,45 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_run_batch(args) -> int:
+    from repro.jobs import BatchRunner, JobPolicy, load_manifest
+    from repro.jobs.runner import run_batch_report
+
+    if args.report is not None:
+        print(run_batch_report(args.report))
+        return 0
+    if not args.manifest:
+        print("run-batch needs a MANIFEST.json (or --report DIR)", file=sys.stderr)
+        return 2
+    manifest = load_manifest(args.manifest)
+    # CLI flags outrank the env and the manifest's policy blocks.
+    cli_overrides = {
+        key: value
+        for key, value in (
+            ("deadline_s", args.job_deadline),
+            ("mem_mb", args.job_mem_mb),
+            ("max_retries", args.job_retries),
+            ("heartbeat_stall_s", args.heartbeat_stall),
+        )
+        if value is not None
+    }
+    run_dir = args.run_dir or f"{Path(args.manifest).stem}_run"
+    runner = BatchRunner(
+        manifest,
+        run_dir,
+        policy=JobPolicy(),
+        manifest_path=args.manifest,
+        final_overrides=cli_overrides,
+    )
+    batch = runner.run()
+    print(run_batch_report(run_dir))
+    if batch.quarantined:
+        names = ", ".join(o.job_id for o in batch.quarantined)
+        print(f"quarantined: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lintx.cli import run
 
@@ -283,6 +382,7 @@ def main(argv: list[str] | None = None) -> int:
         "synthesize": _cmd_synthesize,
         "characterize": _cmd_characterize,
         "bench": _cmd_bench,
+        "run-batch": _cmd_run_batch,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

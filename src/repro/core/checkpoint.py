@@ -9,12 +9,22 @@ memoized timing are all restored or recomputed deterministically, the
 resumed tree is bit-identical to an uninterrupted run
 (``tree_signature`` equality is asserted in the tests).
 
-Format (version :data:`CHECKPOINT_VERSION`): one pickled dict per
-completed level, ``level_0007.ckpt``, written atomically (tmp +
-``os.replace``) so a kill mid-write never corrupts the latest good
-snapshot. The payload holds only primitives — node records, stat field
-dicts, digests — never live objects, so checkpoints survive refactors of
-the in-memory classes better than naive object pickles would.
+Format (version :data:`CHECKPOINT_VERSION`): one framed pickled dict
+per completed level, ``level_0007.ckpt``. The frame is an 8-byte magic,
+the SHA-256 of the body, then the pickled body; files are written to a
+``.tmp`` sibling, fsynced, and atomically renamed, so a kill mid-write
+never corrupts the latest good snapshot — and a *torn* file (truncated
+rename on a crashing filesystem, bit rot, a stray partial copy) is
+detected by its content digest before unpickling, not by whatever
+exception a half-read pickle happens to throw. Resuming from a
+directory selects the highest-numbered checkpoint that passes its
+digest: corrupt candidates are skipped with a loud ``RuntimeWarning``
+and the previous level is used instead
+(:class:`CorruptCheckpointError` when *no* candidate survives, or when
+an explicitly named file is corrupt). The payload holds only
+primitives — node records, stat field dicts, digests — never live
+objects, so checkpoints survive refactors of the in-memory classes
+better than naive object pickles would.
 
 Compatibility is enforced by two digests: ``options_digest`` covers the
 **result-affecting** options only (resilience/performance knobs like
@@ -39,6 +49,7 @@ import hashlib
 import os
 import pickle
 import struct
+import warnings
 from dataclasses import dataclass, fields
 
 from repro.core.batch_commit import CommitQueryStats
@@ -52,7 +63,23 @@ from repro.tech.buffers import BufferLibrary
 from repro.timing.analysis import SubtreeBounds
 from repro.tree.nodes import NodeKind, TreeNode
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: Frame prefix of every checkpoint file: magic, then the SHA-256 of the
+#: pickled body. A file that lacks the magic or fails the digest is torn
+#: or foreign and is rejected *before* any unpickling.
+_MAGIC = b"RPCKPT02"
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
+class CorruptCheckpointError(ValueError):
+    """A checkpoint file is torn, truncated, or not a checkpoint at all.
+
+    Distinct from the plain ``ValueError`` of a *semantic* mismatch
+    (wrong sinks, wrong options, wrong version): directory resume skips
+    corrupt files and falls back to the previous level, but never skips
+    a semantically incompatible one.
+    """
 
 #: The options that change the synthesized tree. Everything else —
 #: parallelism, batching, resilience, validation — only changes how the
@@ -102,6 +129,7 @@ _EXECUTION_FIELDS = (
     "fault_plan",
     "checkpoint_dir",
     "resume_from",
+    "heartbeat_file",
     "validate_every_merge",
 )
 
@@ -254,32 +282,105 @@ def write_checkpoint(
         "merge_stats": _stats_dict(merge_stats),
         "commit_queries": _stats_dict(commit_queries),
         "route_sharing": _stats_dict(route_sharing),
-        "degradations": [
-            (d.component, d.reason, d.level) for d in degradations
-        ],
+        "degradations": [d.as_record() for d in degradations],
     }
     os.makedirs(dirpath, exist_ok=True)
     path = os.path.join(dirpath, checkpoint_filename(level))
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     tmp = path + ".tmp"
     with open(tmp, "wb") as fh:
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.write(_MAGIC)
+        fh.write(hashlib.sha256(body).digest())
+        fh.write(body)
+        fh.flush()
+        # A crash between rename and writeback must not leave a renamed
+        # file with unwritten pages — that is exactly the torn state the
+        # loader's digest guards against, so close the window too.
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    if options.fault_plan:
+        from repro.evalx.faultinject import active_plan
+
+        # ``checkpoint_torn:N:torn`` truncates the snapshot that just
+        # landed, simulating a torn write; the run continues unaware —
+        # only a later resume discovers (and must skip) the damage.
+        plan = active_plan(options.fault_plan)
+        if plan is not None and plan.consult("checkpoint_torn") == "torn":
+            with open(path, "r+b") as fh:
+                fh.truncate(len(_MAGIC) + _DIGEST_BYTES + len(body) // 2)
     return path
 
 
-def _resolve_checkpoint_path(path: str) -> str:
-    if os.path.isdir(path):
-        names = sorted(
+def _read_payload(path: str) -> dict:
+    """Read one framed checkpoint, digest-verified before unpickling."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < len(_MAGIC) + _DIGEST_BYTES or not data.startswith(_MAGIC):
+        raise CorruptCheckpointError(
+            f"checkpoint {path!r} is truncated or not a framed checkpoint"
+            " (bad magic)"
+        )
+    digest = data[len(_MAGIC) : len(_MAGIC) + _DIGEST_BYTES]
+    body = data[len(_MAGIC) + _DIGEST_BYTES :]
+    if hashlib.sha256(body).digest() != digest:
+        raise CorruptCheckpointError(
+            f"checkpoint {path!r} fails its content digest (torn write"
+            " or corruption)"
+        )
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise CorruptCheckpointError(
+            f"checkpoint {path!r} passed its digest but does not"
+            f" unpickle ({type(exc).__name__}: {exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CorruptCheckpointError(
+            f"checkpoint {path!r} does not hold a payload dict"
+        )
+    return payload
+
+
+def _resolve_payload(path: str) -> tuple[str, dict]:
+    """The payload of ``path`` — or of a directory's newest *valid* file.
+
+    Directory resume walks level files newest-first and skips any that
+    fail :func:`_read_payload`, warning loudly per skipped file; an
+    explicitly named file gets no such second chance.
+    """
+    if not os.path.isdir(path):
+        if not os.path.exists(path):
+            raise ValueError(f"checkpoint {path!r} does not exist")
+        return path, _read_payload(path)
+    names = sorted(
+        (
             n
             for n in os.listdir(path)
             if n.startswith("level_") and n.endswith(".ckpt")
-        )
-        if not names:
-            raise ValueError(f"no checkpoints (level_*.ckpt) in {path!r}")
-        return os.path.join(path, names[-1])
-    if not os.path.exists(path):
-        raise ValueError(f"checkpoint {path!r} does not exist")
-    return path
+        ),
+        reverse=True,
+    )
+    if not names:
+        raise ValueError(f"no checkpoints (level_*.ckpt) in {path!r}")
+    failures: list[str] = []
+    for name in names:
+        candidate = os.path.join(path, name)
+        try:
+            payload = _read_payload(candidate)
+        except CorruptCheckpointError as exc:
+            failures.append(f"{name}: {exc}")
+            warnings.warn(
+                f"skipping corrupt checkpoint {name!r} ({exc}); resuming"
+                " from the previous level instead",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            continue
+        return candidate, payload
+    raise CorruptCheckpointError(
+        f"no valid checkpoint in {path!r}: every candidate failed"
+        f" ({'; '.join(failures)})"
+    )
 
 
 def load_checkpoint(
@@ -288,14 +389,14 @@ def load_checkpoint(
     options: CTSOptions,
     buffers: BufferLibrary,
 ) -> CheckpointState:
-    """Load and verify a checkpoint file (or a directory's latest).
+    """Load and verify a checkpoint file (or a directory's newest valid).
 
     Raises ``ValueError`` with what differed when the checkpoint was
-    written for different sinks or different result-affecting options.
+    written for different sinks or different result-affecting options,
+    and :class:`CorruptCheckpointError` when the file (or, for a
+    directory, every file) is torn.
     """
-    path = _resolve_checkpoint_path(path)
-    with open(path, "rb") as fh:
-        payload = pickle.load(fh)
+    path, payload = _resolve_payload(path)
     version = payload.get("version")
     if version != CHECKPOINT_VERSION:
         raise ValueError(
@@ -326,6 +427,6 @@ def load_checkpoint(
         commit_queries=CommitQueryStats(**payload["commit_queries"]),
         route_sharing=route_sharing,
         degradations=[
-            Degradation(*item) for item in payload["degradations"]
+            Degradation.from_record(item) for item in payload["degradations"]
         ],
     )

@@ -170,6 +170,7 @@ class AggressiveBufferedCTS:
                     self._write_checkpoint(
                         n_levels, level, n_flips, center, sinks
                     )
+                self._level_pulse(n_levels)
         finally:
             if executor is not None:
                 if executor.fallback_reason is not None:
@@ -233,6 +234,28 @@ class AggressiveBufferedCTS:
             # snapshot landed; SynthesisHalted is a BaseException, so it
             # unwinds straight through every degradation guard.
             active_plan(self.options.fault_plan).consult("checkpoint")
+
+    def _level_pulse(self, n_levels: int) -> None:
+        """Prove liveness after one completed topology level.
+
+        Stamps ``options.heartbeat_file`` (atomically, content changes
+        every level) so the job supervisor's staleness watchdog can tell
+        a slow level from a hung process. The ``job_hang``/``job_oom``
+        fault sites live here — right where a real hang would silence
+        the heartbeat — so chaos tests exercise the watchdog for real.
+        """
+        if self.options.heartbeat_file is not None:
+            from repro.jobs.heartbeat import stamp_heartbeat
+
+            stamp_heartbeat(
+                self.options.heartbeat_file, f"level:{n_levels}"
+            )
+        if self.options.fault_plan:
+            from repro.evalx.faultinject import active_plan
+
+            plan = active_plan(self.options.fault_plan)
+            plan.consult("job_hang")
+            plan.consult("job_oom")
 
     def _resume(
         self, sinks: list[tuple[Point, float]]

@@ -137,7 +137,10 @@ class CTSOptions:
     checkpoint_dir: str | None = None  # write a resumable snapshot after
     #   each topology level (repro.core.checkpoint); None disables
     resume_from: str | None = None  # checkpoint file — or directory, the
-    #   highest completed level wins — to restart synthesis from mid-tree
+    #   highest completed *valid* level wins — to restart synthesis mid-tree
+    heartbeat_file: str | None = None  # stamp this file atomically at each
+    #   topology level so an external supervisor (repro.jobs) can tell a
+    #   slow job from a hung one; None disables
     # --- misc ------------------------------------------------------------
     virtual_drive: str | None = None  # assumed driver type (default largest)
     source_slew: float = 60.0e-12  # slew of the ideal ramp at the clock source
@@ -167,6 +170,8 @@ class CTSOptions:
             raise ValueError("checkpoint_dir must be a path or None")
         if self.resume_from is not None and not self.resume_from:
             raise ValueError("resume_from must be a path or None")
+        if self.heartbeat_file is not None and not self.heartbeat_file:
+            raise ValueError("heartbeat_file must be a path or None")
 
     @property
     def target_slew(self) -> float:

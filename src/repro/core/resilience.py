@@ -30,6 +30,15 @@ class Degradation:
     reason: str
     level: int  # 1-based topology level; 0 = outside the level loop
 
+    def as_record(self) -> tuple[str, str, int]:
+        """Primitive row for checkpoints and cross-process job results."""
+        return (self.component, self.reason, self.level)
+
+    @classmethod
+    def from_record(cls, record) -> "Degradation":
+        component, reason, level = record
+        return cls(str(component), str(reason), int(level))
+
 
 class ResilienceLog:
     """Degradation events of one synthesis run.

@@ -19,13 +19,28 @@ Sites are the supervised/guarded points of the synthesis flow:
 ``route_finish``    one level-batched route-finishing kernel call
 ``checkpoint``      one per-level checkpoint write (``halt`` here
                     simulates a kill at a level boundary)
+``job_hang``        the level-loop heartbeat pulse; ``hang`` here stops
+                    the heartbeat mid-run so a job supervisor's
+                    staleness watchdog must notice and kill the process
+``job_oom``         the level-loop heartbeat pulse; ``balloon`` here
+                    pins hundreds of MB of RSS so a supervisor's memory
+                    budget must trip
+``checkpoint_torn``  one per-level checkpoint write; ``torn`` makes the
+                    writer truncate the file it just finished —
+                    simulating a torn write the resume path must detect
+                    and skip
 ==================  ====================================================
 
 Modes: ``raise`` throws :class:`FaultInjected`; ``crash`` kills the
 process with ``os._exit`` (the parent sees ``BrokenProcessPool``);
 ``timeout`` sleeps long enough that both the supervised gather *and*
 its doubled backoff retry give up (then proceeds normally — the stale
-result is never read); ``halt`` throws :class:`SynthesisHalted`.
+result is never read); ``halt`` throws :class:`SynthesisHalted`;
+``hang`` parks the process in a very long sleep (only an external
+watchdog ends it); ``balloon`` allocates :data:`BALLOON_BYTES` of
+touched memory and then hangs holding it; ``torn`` raises nothing —
+:meth:`FaultPlan.consult` returns the mode string and the *call site*
+implements the corruption (only the checkpoint writer does).
 
 Counter sites fire each spec at most once per process; explicit-ordinal
 sites (``worker_batch``) re-fire on every visit with the matching
@@ -50,8 +65,25 @@ SITES = (
     "shared_windows",
     "route_finish",
     "checkpoint",
+    "job_hang",
+    "job_oom",
+    "checkpoint_torn",
 )
-MODES = ("crash", "raise", "timeout", "halt")
+MODES = ("crash", "raise", "timeout", "halt", "hang", "balloon", "torn")
+
+#: ``hang``/``balloon`` park the process this long; supervised runs are
+#: SIGKILLed by their watchdog long before the sleep ends, and SIGKILL
+#: cannot be masked, so the sleep never actually completes.
+HANG_SECONDS = 3600.0
+
+#: Touched RSS a ``balloon`` fault pins (zero-filled, so every page is
+#: resident). Sized to dwarf a worker's baseline footprint while staying
+#: harmless on CI runners.
+BALLOON_BYTES = 384 * 1024 * 1024
+
+#: The balloon allocation, kept alive so the RSS stays pinned until the
+#: supervisor kills the process.
+_ballast: bytearray | None = None
 
 
 class FaultInjected(RuntimeError):
@@ -121,18 +153,23 @@ class FaultPlan:
 
     def consult(
         self, site: str, ordinal: int | None = None, sleep_s: float = 1.0
-    ) -> None:
+    ) -> str | None:
         """Fire any spec matching this visit of ``site``.
 
         Counter sites (``ordinal`` None) number their visits per process
         and fire each spec at most once; explicit-ordinal sites pass the
-        visit number in and re-fire on every matching visit.
+        visit number in and re-fire on every matching visit. Returns the
+        mode of a fired *effect* spec (``timeout``/``hang``/``balloon``
+        after their sleep, ``torn`` immediately) so the call site can
+        implement corruption modes itself; raising/exiting modes never
+        return.
         """
         if ordinal is None:
             n = self._counts.get(site, 0)
             self._counts[site] = n + 1
         else:
             n = ordinal
+        fired: str | None = None
         for spec in self.specs:
             if spec.site != site or spec.index != n:
                 continue
@@ -140,17 +177,33 @@ class FaultPlan:
                 if spec in self._fired:
                     continue
                 self._fired.add(spec)
-            self._trigger(spec, sleep_s)
+            fired = self._trigger(spec, sleep_s) or fired
+        return fired
 
     @staticmethod
-    def _trigger(spec: FaultSpec, sleep_s: float) -> None:
+    def _trigger(spec: FaultSpec, sleep_s: float) -> str | None:
+        global _ballast
         if spec.mode == "crash":
             os._exit(17)
         if spec.mode == "timeout":
             # Sleep past the gather timeout AND the doubled backoff
             # retry, then return normally; the parent stopped listening.
             time.sleep(sleep_s)
-            return
+            return "timeout"
+        if spec.mode == "hang":
+            # Stop making progress (and stamping heartbeats) without
+            # exiting: only a supervisor's kill ends this.
+            time.sleep(HANG_SECONDS)
+            return "hang"
+        if spec.mode == "balloon":
+            # bytearray zero-fills, so the whole allocation is resident
+            # RSS; the module-level reference keeps it pinned while the
+            # process hangs waiting for the memory watchdog.
+            _ballast = bytearray(BALLOON_BYTES)
+            time.sleep(HANG_SECONDS)
+            return "balloon"
+        if spec.mode == "torn":
+            return "torn"
         if spec.mode == "halt":
             raise SynthesisHalted(
                 f"injected halt at {spec.site}:{spec.index}"

@@ -1,0 +1,29 @@
+"""Supervised batch synthesis: the job layer above one synthesis run.
+
+`repro run-batch manifest.json` executes each (instance x options) job
+of a manifest in its own subprocess under a watchdog (wall-clock
+deadline, heartbeat-staleness hang detection, RSS memory budget),
+retries failures on deterministic backoff resuming from the last valid
+checkpoint, quarantines jobs that keep failing, and appends every
+event to a JSONL run log. See RESILIENCE.md ("Job supervision").
+"""
+
+from repro.jobs.events import RunLog, read_events, stable_view
+from repro.jobs.heartbeat import read_heartbeat, stamp_heartbeat
+from repro.jobs.manifest import BatchManifest, JobSpec, load_manifest
+from repro.jobs.policy import JobPolicy
+from repro.jobs.runner import BatchResult, BatchRunner
+
+__all__ = [
+    "BatchManifest",
+    "BatchResult",
+    "BatchRunner",
+    "JobPolicy",
+    "JobSpec",
+    "RunLog",
+    "load_manifest",
+    "read_events",
+    "read_heartbeat",
+    "stable_view",
+    "stamp_heartbeat",
+]

@@ -1,0 +1,124 @@
+"""Structured JSONL run log of a supervised batch.
+
+Every event is one JSON object per line, written append-only with
+sorted keys and a monotonically increasing ``seq`` number, so the log
+of a batch is deterministic *except* for explicitly volatile fields
+(wall times, RSS peaks, free-text kill details, absolute paths).
+:func:`stable_view` strips exactly those fields; the determinism test
+asserts that two reruns of the same chaotic batch produce equal stable
+views, which pins event order, attempt counts, kill *reason codes*, and
+result digests without pretending timings are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Event fields that legitimately differ between identical reruns.
+#: Everything else — event kinds, order, job ids, attempt numbers, kill
+#: reason codes, exit codes, signatures, resume levels — must be stable.
+VOLATILE_KEYS = frozenset(
+    {"runtime_s", "rss_peak_mb", "detail", "run_dir", "manifest"}
+)
+
+
+class RunLog:
+    """Append-only JSONL event writer with sequence numbering."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._seq = 0
+
+    def emit(self, event: str, **payload) -> dict:
+        """Append one event line; returns the full record."""
+        record = {"seq": self._seq, "event": event, **payload}
+        self._seq += 1
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return record
+
+
+def read_events(path: str) -> list[dict]:
+    """Parse a JSONL run log; a torn final line is dropped, not fatal.
+
+    The log is fsynced per event, but the *reader* may race a live
+    writer or see a log from a crashed parent — the one place a partial
+    line can legitimately appear is the tail.
+    """
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break
+            raise ValueError(
+                f"run log {path!r} line {i + 1} is corrupt mid-file"
+            ) from None
+    return events
+
+
+def stable_view(events: list[dict]) -> list[dict]:
+    """The deterministic projection of a run log (see module docstring)."""
+    return [
+        {k: v for k, v in event.items() if k not in VOLATILE_KEYS}
+        for event in events
+    ]
+
+
+def summarize(events: list[dict]) -> str:
+    """Human-readable report of one batch run (``run-batch --report``)."""
+    lines: list[str] = []
+    jobs: dict[str, dict] = {}
+    for ev in events:
+        kind = ev.get("event")
+        if kind == "batch_start":
+            lines.append(
+                f"batch: {ev.get('n_jobs', '?')} jobs"
+                f" (manifest {ev.get('manifest', '?')})"
+            )
+        elif kind == "attempt_end":
+            job = jobs.setdefault(ev["job"], {"attempts": []})
+            job["attempts"].append(ev)
+        elif kind == "job_done":
+            jobs.setdefault(ev["job"], {"attempts": []})["done"] = ev
+        elif kind == "quarantine":
+            jobs.setdefault(ev["job"], {"attempts": []})["quarantine"] = ev
+        elif kind == "batch_end":
+            lines.append(
+                f"result: {ev.get('ok', 0)} ok,"
+                f" {ev.get('quarantined', 0)} quarantined,"
+                f" {ev.get('attempts', 0)} attempts total"
+            )
+    for job_id in sorted(jobs):
+        job = jobs[job_id]
+        attempts = job["attempts"]
+        if "done" in job:
+            done = job["done"]
+            status = (
+                f"ok in {len(attempts)} attempt(s),"
+                f" signature {done.get('signature', '?')[:12]}"
+            )
+            if done.get("resumed_from") is not None:
+                status += f", resumed from level {done['resumed_from']}"
+        elif "quarantine" in job:
+            status = f"QUARANTINED after {len(attempts)} attempt(s)"
+        else:
+            status = "incomplete"
+        lines.append(f"  {job_id}: {status}")
+        for att in attempts:
+            outcome = att.get("outcome", "?")
+            reason = att.get("reason")
+            note = f" ({reason})" if reason and reason != outcome else ""
+            lines.append(
+                f"    attempt {att.get('attempt', '?')}: {outcome}{note}"
+            )
+    return "\n".join(lines)

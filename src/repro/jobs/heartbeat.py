@@ -1,0 +1,47 @@
+"""The heartbeat protocol between a synthesis child and its watchdog.
+
+The child stamps one small file (``<pid>:<tag>\\n``) at every liveness
+milestone — process start, imports done, engine built, then once per
+completed topology level via the :meth:`_level_pulse` hook in the
+synthesis loop. The parent never parses timestamps out of the file
+(cross-process clocks are exactly the non-determinism repro-lint bans);
+it watches the *content* and runs its own monotonic stall timer: if the
+bytes stop changing for ``heartbeat_stall_s`` the job is hung. The pid
+prefix guarantees a fresh attempt always changes the content even when
+it restarts at the same tag.
+
+Stamps are atomic (tmp sibling + ``os.replace``) so the parent never
+reads a torn stamp; they are deliberately *not* fsynced — a heartbeat
+is a visibility signal to a live reader, not durable state, and an
+fsync per topology level would tax exactly the hot loop the rest of
+this codebase optimizes.
+
+This module imports nothing from the rest of the package: the synthesis
+loop loads it lazily, only when ``options.heartbeat_file`` is set, so
+the unsupervised path pays nothing.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def stamp_heartbeat(path: str, tag: str) -> None:
+    """Atomically write ``<pid>:<tag>`` to ``path``."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(f"{os.getpid()}:{tag}\n")
+    os.replace(tmp, path)
+
+
+def read_heartbeat(path: str) -> bytes | None:
+    """The current stamp bytes, or None before the first stamp.
+
+    Returns raw bytes: the watchdog only compares stamps for change, it
+    never interprets them (the tag is for humans reading a run dir).
+    """
+    try:
+        with open(path, "rb") as fh:
+            return fh.read()
+    except FileNotFoundError:
+        return None

@@ -113,6 +113,20 @@ FLOW_CONTRACTS = (
     FlowContract("fault_plan", "REPRO_FAULT_PLAN", "--fault-plan"),
 )
 
+#: Supervision-budget knobs of the batch job runner
+#: (:class:`repro.jobs.policy.JobPolicy`). They live outside
+#: ``CTSOptions`` — they govern the parent watchdog, never the tree —
+#: but carry the same env+CLI contract, enforced by CON308 against
+#: ``jobs/policy.py`` instead of ``core/options.py``.
+JOB_CONTRACTS = (
+    FlowContract("deadline_s", "REPRO_JOB_DEADLINE", "--job-deadline"),
+    FlowContract("mem_mb", "REPRO_JOB_MEM_MB", "--job-mem-mb"),
+    FlowContract("max_retries", "REPRO_JOB_RETRIES", "--job-retries"),
+    FlowContract(
+        "heartbeat_stall_s", "REPRO_HEARTBEAT_STALL", "--heartbeat-stall"
+    ),
+)
+
 
 # --------------------------------------------------------------------
 # Extraction from the live tree
@@ -128,8 +142,10 @@ class KnobInfo:
     line: int
 
 
-def extract_env_knobs(source: SourceFile) -> tuple[dict[str, KnobInfo], list[str], int]:
-    """The env-knob registry of ``CTSOptions``.
+def extract_env_knobs(
+    source: SourceFile, class_name: str = "CTSOptions"
+) -> tuple[dict[str, KnobInfo], list[str], int]:
+    """The env-knob registry of one options dataclass.
 
     Returns (env-backed knobs by field name, all field names, class
     line). A knob is a dataclass field whose ``default_factory``
@@ -157,7 +173,7 @@ def extract_env_knobs(source: SourceFile) -> tuple[dict[str, KnobInfo], list[str
     fields: list[str] = []
     class_line = 1
     for node in source.tree.body:
-        if not isinstance(node, ast.ClassDef) or node.name != "CTSOptions":
+        if not isinstance(node, ast.ClassDef) or node.name != class_name:
             continue
         class_line = node.lineno
         for stmt in node.body:
@@ -760,6 +776,91 @@ class CLIFlagRule(_ContractRule):
                     1,
                     1,
                     f"knob {knob!r}: CLI flag {flag} has no help text",
+                )
+
+
+@register
+class JobPolicyContractRule(_ContractRule):
+    id = "CON308"
+    severity = "error"
+    summary = (
+        "every REPRO_JOB_*/REPRO_HEARTBEAT_* JobPolicy knob must be"
+        " declared in JOB_CONTRACTS with a documented run-batch CLI flag"
+    )
+
+    def check_contracts(self, index: ContractIndex):
+        policy_mod = index.module(os.path.join("jobs", "policy.py"))
+        if policy_mod is None or policy_mod.tree is None:
+            if JOB_CONTRACTS:
+                yield self.finding(
+                    index.options.path,
+                    index.class_line,
+                    1,
+                    "repro/jobs/policy.py not found but JOB_CONTRACTS"
+                    " declares job-supervision knobs (stale table)",
+                )
+            return
+        knobs, fields, class_line = extract_env_knobs(
+            policy_mod, class_name="JobPolicy"
+        )
+        declared = {c.knob: c.env for c in JOB_CONTRACTS}
+        for name, knob in sorted(knobs.items()):
+            if name not in declared:
+                yield self.finding(
+                    policy_mod.path,
+                    knob.line,
+                    1,
+                    f"JobPolicy knob {name!r} ({knob.env}) has no"
+                    " declared contract: add a JOB_CONTRACTS row in"
+                    " repro.lintx.contracts and a documented run-batch"
+                    " CLI flag",
+                )
+            elif declared[name] != knob.env:
+                yield self.finding(
+                    policy_mod.path,
+                    knob.line,
+                    1,
+                    f"JobPolicy knob {name!r} reads {knob.env} but its"
+                    f" contract declares {declared[name]}",
+                )
+        for knob_name in sorted(declared):
+            if knob_name not in fields:
+                yield self.finding(
+                    policy_mod.path,
+                    class_line,
+                    1,
+                    f"JOB_CONTRACTS declares knob {knob_name!r} but"
+                    " JobPolicy has no such field (stale contract row)",
+                )
+            elif knob_name not in knobs:
+                yield self.finding(
+                    policy_mod.path,
+                    class_line,
+                    1,
+                    f"JOB_CONTRACTS declares knob {knob_name!r} as"
+                    " env-backed but its field has no REPRO_*"
+                    " default_factory",
+                )
+        cli = index.module("cli.py")
+        if cli is None or cli.tree is None:
+            return  # CON306 already reports the missing CLI
+        flags = cli_flags(cli)
+        for contract in JOB_CONTRACTS:
+            if contract.cli_flag not in flags:
+                yield self.finding(
+                    cli.path,
+                    1,
+                    1,
+                    f"JobPolicy knob {contract.knob!r}: CLI flag"
+                    f" {contract.cli_flag} is not defined in cli.py",
+                )
+            elif not flags[contract.cli_flag]:
+                yield self.finding(
+                    cli.path,
+                    1,
+                    1,
+                    f"JobPolicy knob {contract.knob!r}: CLI flag"
+                    f" {contract.cli_flag} has no help text",
                 )
 
 

@@ -7,6 +7,7 @@ for visual inspection.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -73,6 +74,19 @@ def tree_signature(tree: ClockTree | TreeNode, base_id: int = 0) -> dict:
 
     rebase(data)
     return data
+
+
+def signature_digest(signature: dict) -> str:
+    """Hex digest of a :func:`tree_signature` dict.
+
+    Canonical JSON (sorted keys, no whitespace) hashed with SHA-256, so
+    two processes can compare whole trees by exchanging one short
+    string — the job runner records this per attempt.
+    """
+    canonical = json.dumps(
+        signature, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def tree_from_dict(data: dict, buffers: BufferLibrary) -> TreeNode:

@@ -95,6 +95,23 @@ class TestSelfCheck:
         # every contracted knob really is a CTSOptions field
         assert declared <= set(fields)
 
+    def test_every_job_policy_knob_is_contracted(self):
+        policy = SourceFile.load(str(SRC / "repro" / "jobs" / "policy.py"))
+        knobs, fields, _ = C.extract_env_knobs(policy, class_name="JobPolicy")
+        declared = {c.knob for c in C.JOB_CONTRACTS}
+        assert set(knobs) == declared
+        for contract in C.JOB_CONTRACTS:
+            assert knobs[contract.knob].env == contract.env
+        assert declared <= set(fields)
+
+    def test_every_job_contract_flag_is_documented(self):
+        cli = SourceFile.load(str(SRC / "repro" / "cli.py"))
+        flags = C.cli_flags(cli)
+        for contract in C.JOB_CONTRACTS:
+            assert flags.get(contract.cli_flag), (
+                f"{contract.cli_flag} missing or undocumented in cli.py"
+            )
+
     def test_every_guard_component_is_in_its_module(self):
         for contract in C.KERNEL_CONTRACTS:
             module = SourceFile.load(str(SRC / "repro" / contract.module))
@@ -272,6 +289,41 @@ class TestMutations:
         # ... and the unclassified field also trips the digest rule
         con305 = findings_for(result, "CON305")
         assert con305 and "batch_profile" in con305[0].message
+
+    def test_new_job_policy_knob_without_contract_fires_con308(self, tree):
+        edit(
+            tree,
+            "src/repro/jobs/policy.py",
+            "def _default_deadline_s()",
+            (
+                'def _default_cpu_budget() -> float:\n'
+                '    """Honor ``REPRO_JOB_CPU``."""\n'
+                '    return float(os.environ.get("REPRO_JOB_CPU", "0") or 0.0)\n'
+                "\n\n"
+                "def _default_deadline_s()"
+            ),
+        )
+        edit(
+            tree,
+            "src/repro/jobs/policy.py",
+            "    deadline_s: float = field(default_factory=_default_deadline_s)",
+            "    cpu_budget_s: float = field(default_factory=_default_cpu_budget)\n"
+            "    deadline_s: float = field(default_factory=_default_deadline_s)",
+        )
+        con308 = findings_for(lint(tree), "CON308")
+        assert con308 and "cpu_budget_s" in con308[0].message
+        assert con308[0].path.endswith("policy.py")
+
+    def test_renaming_a_run_batch_flag_fires_con308(self, tree):
+        edit(
+            tree,
+            "src/repro/cli.py",
+            '"--job-deadline"',
+            '"--job-deadline-x"',
+        )
+        findings = findings_for(lint(tree), "CON308")
+        assert findings and findings[0].path.endswith("cli.py")
+        assert any("--job-deadline" in f.message for f in findings)
 
     def test_removing_the_lint_step_fires_con307(self, tree):
         ci = tree / ".github" / "workflows" / "ci.yml"

@@ -20,6 +20,7 @@ import pytest
 
 from repro.core import AggressiveBufferedCTS, CTSOptions
 from repro.core.checkpoint import (
+    CorruptCheckpointError,
     load_checkpoint,
     options_digest,
     sinks_digest,
@@ -316,6 +317,91 @@ class TestCheckpointResume:
         empty.mkdir()
         with pytest.raises(ValueError, match="no checkpoints"):
             synth(sinks, resume_from=str(empty))
+
+    def test_truncated_latest_is_bypassed_on_resume(self, tmp_path):
+        """A torn newest checkpoint costs one level, never the resume."""
+        sinks = self._sinks()
+        clean_sig, clean, __ = synth(sinks, blockages=BLOCKAGES)
+        reset_plans()
+        ckpt_dir = str(tmp_path / "ckpt")
+        base = peek_node_id()
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:1:halt",
+            )
+        top = os.path.join(ckpt_dir, "level_0002.ckpt")
+        with open(top, "r+b") as fh:
+            fh.truncate(os.path.getsize(top) // 2)
+        reset_plans()
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            sig, resumed, __ = synth(
+                sinks, blockages=BLOCKAGES, resume_from=ckpt_dir
+            )
+        assert resumed.resumed_from == 1
+        assert resumed.levels == clean.levels
+        assert tree_signature(resumed.tree, base) == clean_sig
+
+    def test_injected_torn_write_is_bypassed_on_resume(self, tmp_path):
+        """The checkpoint_torn fault site produces a skippable file."""
+        sinks = self._sinks()
+        clean_sig, __, __ = synth(sinks, blockages=BLOCKAGES)
+        reset_plans()
+        ckpt_dir = str(tmp_path / "ckpt")
+        base = peek_node_id()
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                # Tear the second snapshot, then die holding it as the
+                # newest file — resume must fall back to level 1.
+                fault_plan="checkpoint_torn:1:torn,checkpoint:1:halt",
+            )
+        reset_plans()
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            sig, resumed, __ = synth(
+                sinks, blockages=BLOCKAGES, resume_from=ckpt_dir
+            )
+        assert resumed.resumed_from == 1
+        assert tree_signature(resumed.tree, base) == clean_sig
+
+    def test_corrupt_explicit_file_gets_no_second_chance(self, tmp_path):
+        sinks = self._sinks()
+        ckpt_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:1:halt",
+            )
+        top = os.path.join(ckpt_dir, "level_0002.ckpt")
+        with open(top, "r+b") as fh:
+            fh.truncate(os.path.getsize(top) // 2)
+        with pytest.raises(CorruptCheckpointError, match="digest"):
+            synth(sinks, blockages=BLOCKAGES, resume_from=top)
+
+    def test_all_corrupt_dir_rejected_loudly(self, tmp_path):
+        sinks = self._sinks()
+        ckpt_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SynthesisHalted):
+            synth(
+                sinks,
+                blockages=BLOCKAGES,
+                checkpoint_dir=ckpt_dir,
+                fault_plan="checkpoint:0:halt",
+            )
+        for name in sorted(os.listdir(ckpt_dir)):
+            with open(os.path.join(ckpt_dir, name), "r+b") as fh:
+                fh.truncate(4)
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            with pytest.raises(
+                CorruptCheckpointError, match="no valid checkpoint"
+            ):
+                synth(sinks, blockages=BLOCKAGES, resume_from=ckpt_dir)
 
     def test_digests_are_mode_independent(self):
         sinks = self._sinks()
