@@ -64,6 +64,13 @@ def _build_parser() -> argparse.ArgumentParser:
         " debugging/timing)",
     )
     synth.add_argument(
+        "--no-batch-expansion",
+        action="store_true",
+        help="expand delay profiles pair by pair with lazy table"
+        " evaluation instead of the lockstep level scheduler"
+        " (bit-identical, for debugging/timing)",
+    )
+    synth.add_argument(
         "--no-batch-route-finish",
         action="store_true",
         help="finish shared-window maze routes pair by pair instead of"
@@ -134,6 +141,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="route merges over private per-pair maze windows instead of"
         " the level-scoped shared grid-tile cache",
+    )
+    bench.add_argument(
+        "--no-batch-expansion",
+        action="store_true",
+        help="expand delay profiles pair by pair with lazy table"
+        " evaluation instead of the lockstep level scheduler",
     )
     bench.add_argument(
         "--no-batch-route-finish",
@@ -245,6 +258,7 @@ def _cmd_synthesize(args) -> int:
         **({} if args.workers is None else {"workers": args.workers}),
         **({"batch_commit": False} if args.no_batch_commit else {}),
         **({"shared_windows": False} if args.no_shared_windows else {}),
+        **({"batch_expansion": False} if args.no_batch_expansion else {}),
         **({"batch_route_finish": False} if args.no_batch_route_finish else {}),
         **({"strict": True} if args.strict else {}),
         **({} if args.checkpoint_dir is None else {"checkpoint_dir": args.checkpoint_dir}),
@@ -308,6 +322,7 @@ def _cmd_bench(args) -> int:
         **({} if args.workers is None else {"workers": args.workers}),
         **({"batch_commit": False} if args.no_batch_commit else {}),
         **({"shared_windows": False} if args.no_shared_windows else {}),
+        **({"batch_expansion": False} if args.no_batch_expansion else {}),
         **({"batch_route_finish": False} if args.no_batch_route_finish else {}),
     )
     if args.table == "5.1":

@@ -123,6 +123,7 @@ _EXECUTION_FIELDS = (
     "batch_commit",
     "batch_commit_min_pairs",
     "shared_windows",
+    "batch_expansion",
     "batch_route_finish",
     "strict",
     "pool_timeout",

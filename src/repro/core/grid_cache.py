@@ -69,6 +69,7 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.charlib.library import DelaySlewLibrary
+from repro.core.batch_expand import expand_level
 from repro.core.maze_router import (
     _UNREACHED,
     both_reached,
@@ -111,11 +112,13 @@ class SharingStats:
     batch's stats back to the parent and sum them on gather without the
     result depending on worker scheduling. The per-pair counters
     (``windows_served``, ``pairs_routed``, ``cells_ranked``,
-    ``descent_sides``, ``descent_cells``, ``curve_points``) are also
-    invariant to how a level is split into batches; the per-call ones
-    (``search_rounds``, ``curve_rounds``, ``finish_batches``, tile
-    reuse) count once per ``route_level`` call and so depend on the
-    (deterministic) batch split.
+    ``descent_sides``, ``descent_cells``, ``curve_points``,
+    ``expansion_lanes``, ``expansion_runs``, ``expansion_insertions``)
+    are also invariant to how a level is split into batches; the
+    per-call ones (``search_rounds``, ``curve_rounds``,
+    ``expansion_rounds``, ``finish_batches``, tile reuse) count once
+    per ``route_level`` call and so depend on the (deterministic)
+    batch split.
     """
 
     windows_served: int = 0
@@ -129,6 +132,10 @@ class SharingStats:
     curve_rounds: int = 0
     curves_evaluated: int = 0
     curve_points: int = 0
+    expansion_rounds: int = 0
+    expansion_lanes: int = 0
+    expansion_runs: int = 0
+    expansion_insertions: int = 0
     finish_batches: int = 0
     cells_ranked: int = 0
     descent_sides: int = 0
@@ -286,68 +293,13 @@ def _search_rounds(
         raise RuntimeError("terminals are disconnected by blockages")
 
 
-def _prime_tables(
-    jobs: list[tuple[_PairSearch, SegmentTables]],
-    library: DelaySlewLibrary,
-    options: CTSOptions,
-    stats: SharingStats,
-) -> None:
-    """One vectorized curve round: prefetch every pair's initial tables.
-
-    Before its first buffer insertion, a pair's profile expansion reads,
-    per side load L: the wire-slew tables of every buffer type into L
-    (the feasibility frontier) and the virtual driver's wire-delay table
-    into L. Those (drive, load, fn) triples are known before expansion
-    starts, so they are gathered level-wide, grouped by triple, and each
-    group's contracted fit curve is evaluated once over the concatenation
-    of all requesting pairs' length prefixes. Each pair's slice is
-    byte-identical to its private evaluation (clip + Horner are
-    element-wise), so priming changes nothing but the call count.
-    Post-insertion loads (rare) fall back to the per-pair lazy path,
-    which computes the same values.
-    """
-    virtual = options.virtual_drive or library.buffer_names[-1]
-    # Groups are keyed by (triple, input slew): every table in a group
-    # shares one contracted curve, and a table whose input slew differed
-    # would land in its own group rather than be primed with the wrong
-    # curve. (The route flow constructs every SegmentTables at the slew
-    # target, so in practice there is one slew per level.)
-    requests: dict[
-        tuple[tuple[str, str, str], float], list[tuple[SegmentTables, int]]
-    ] = {}
-    for job, tables in jobs:
-        triples = []
-        for load in dict.fromkeys((job.term1.load_name, job.term2.load_name)):
-            triples.extend(
-                (drive, load, "wire_slew") for drive in library.buffer_names
-            )
-            triples.append((virtual, load, "wire_delay"))
-        for triple in dict.fromkeys(triples):
-            requests.setdefault((triple, tables.input_slew), []).append(
-                (tables, tables.eval_count(*triple))
-            )
-    if not requests:
-        return
-    stats.curve_rounds += 1
-    for ((drive, load, fn), input_slew), reqs in requests.items():
-        fit = library.single[(drive, load)][fn]
-        curve = fit.partial_curve(input_slew)
-        prefixes = [tables._lengths[:n] for tables, n in reqs]
-        values = curve(np.concatenate(prefixes))
-        stats.curves_evaluated += 1
-        stats.curve_points += values.size
-        offset = 0
-        for (tables, n), prefix in zip(reqs, prefixes):
-            tables.prime(drive, load, fn, values[offset : offset + n])
-            offset += n
-
-
 def _finish_level(
     primed: list[tuple[_PairSearch, SegmentTables]],
     library: DelaySlewLibrary,
     options: CTSOptions,
     stats: SharingStats,
     results: list[RouteResult | None],
+    builders_by_pair: list[list[PathBuilder]] | None = None,
 ) -> None:
     """The level-wide route-finishing kernel (one ranking pass, batched
     descent).
@@ -363,6 +315,11 @@ def _finish_level(
     one lockstep batched descent
     (:func:`repro.core.maze_router.descend_many`); obstacle-free windows
     keep the analytic staircase.
+
+    ``builders_by_pair`` (from the lockstep expansion scheduler,
+    :func:`repro.core.batch_expand.expand_level`) supplies each pair's
+    two already-expanded profile builders; ``None`` builds and expands
+    them here, pair by pair — the same states either way.
 
     Bit-identity with the per-pair fallback: profile evaluation runs the
     same :class:`PathBuilder` state machines over the same primed tables;
@@ -381,20 +338,23 @@ def _finish_level(
     k2_list: list[np.ndarray] = []
     prof1_list: list[np.ndarray] = []
     prof2_list: list[np.ndarray] = []
-    for job, tables in primed:
+    for pos, (job, tables) in enumerate(primed):
         dist1, dist2 = job.search.dists
-        pair_builders = [
-            PathBuilder(
-                tables,
-                term.base_delay,
-                term.load_name,
-                options.target_slew,
-                library.buffer_names,
-                virtual,
-                options.sizing_lookahead,
-            )
-            for term in (job.term1, job.term2)
-        ]
+        if builders_by_pair is not None:
+            pair_builders = builders_by_pair[pos]
+        else:
+            pair_builders = [
+                PathBuilder(
+                    tables,
+                    term.base_delay,
+                    term.load_name,
+                    options.target_slew,
+                    library.buffer_names,
+                    virtual,
+                    options.sizing_lookahead,
+                )
+                for term in (job.term1, job.term2)
+            ]
         max_k = tables.n_steps - 1
         prof1_list.append(pair_builders[0].delays_view(max_k))
         prof2_list.append(pair_builders[1].delays_view(max_k))
@@ -550,17 +510,22 @@ def route_level(
     ``pairs`` entries may be ``None`` (coincident or otherwise unroutable
     slots); results come back indexed like the input. Obstacle-free
     profile routing has no windows to share and is dispatched per pair
-    unchanged; the maze path runs the lockstep search rounds, the level
-    curve round, then the level-wide finishing kernel
-    (:func:`_finish_level`) — or, with ``batch_route_finish=False``, the
-    retained per-pair ranking and materialization.
+    unchanged; the maze path runs the lockstep search rounds, the
+    lockstep profile-expansion scheduler
+    (:func:`repro.core.batch_expand.expand_level` — grouped curve
+    rounds + masked insertion sub-rounds; ``batch_expansion=False``
+    falls back to per-pair lazy expansion), then the level-wide
+    finishing kernel (:func:`_finish_level`) — or, with
+    ``batch_route_finish=False``, the retained per-pair ranking and
+    materialization (reusing the scheduler's builders when it ran).
 
     ``resilience`` (a :class:`~repro.core.resilience.ResilienceLog`)
-    arms the finishing kernel's degradation guard: on an unexpected
-    exception the level's pairs re-finish one by one (bit-identical —
-    the kernel only regroups the per-pair work) and one
-    ``batch_route_finish`` degradation is noted. With ``None`` (pool
-    workers) the exception propagates to the supervised gather instead.
+    arms both kernels' degradation guards: on an unexpected exception
+    the level's pairs re-expand/re-finish one by one (bit-identical —
+    the kernels only regroup the per-pair work) and one
+    ``batch_expansion`` / ``batch_route_finish`` degradation is noted.
+    With ``None`` (pool workers) the exception propagates to the
+    supervised gather instead.
     """
     if cache is None:
         cache = GridCache(blockages)
@@ -605,13 +570,29 @@ def route_level(
         )
         primed.append((job, tables))
 
-    _prime_tables(primed, library, options, stats)
+    builders_by_pair: list[list[PathBuilder]] | None = None
+    if options.batch_expansion:
+        try:
+            if plan is not None:
+                plan.consult("batch_expansion")
+            builders_by_pair = expand_level(primed, library, options, stats)
+        except Exception as exc:
+            if resilience is None:
+                raise
+            resilience.note("batch_expansion", exc)
+            # Replay per pair: the scheduler's partially primed tables
+            # hold byte-identical values (priming only regroups the
+            # evaluations), so lazy per-pair expansion — here or inside
+            # the finish below — completes them to the same profiles.
+            builders_by_pair = None
 
     if options.batch_route_finish:
         try:
             if plan is not None:
                 plan.consult("route_finish")
-            _finish_level(primed, library, options, stats, results)
+            _finish_level(
+                primed, library, options, stats, results, builders_by_pair
+            )
             return results
         except Exception as exc:
             if resilience is None:
@@ -621,7 +602,7 @@ def route_level(
             # ``results`` for any pair it did not fully finish, and
             # per-pair finishing recomputes every slot from the intact
             # search state anyway.
-    for job, tables in primed:
+    for pos, (job, tables) in enumerate(primed):
         results[job.index] = finish_maze_route(
             job.search,
             job.term1,
@@ -630,6 +611,7 @@ def route_level(
             options,
             tables,
             both=job.both,
+            builders=None if builders_by_pair is None else builders_by_pair[pos],
         )
         stats.pairs_routed += 1
     return results

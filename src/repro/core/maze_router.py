@@ -729,16 +729,19 @@ def finish_maze_route(
     options: CTSOptions,
     tables: SegmentTables | None = None,
     both: np.ndarray | None = None,
+    builders: list[PathBuilder] | None = None,
 ) -> RouteResult:
     """Profile evaluation, cell ranking and path materialization.
 
     The tail of one maze route, shared by the per-pair path and the
     level batcher. ``tables`` may be a pre-primed
     :class:`~repro.core.segment_builder.SegmentTables` (the batcher fills
-    it with one vectorized curve round per level; its ``n_steps`` then
-    carries the co-reached maximum so nothing is recomputed) and
-    ``both`` the caller's co-reached mask; when omitted both are
-    computed here, to the same values.
+    it with vectorized curve rounds per level; its ``n_steps`` then
+    carries the co-reached maximum so nothing is recomputed),
+    ``both`` the caller's co-reached mask, and ``builders`` the pair's
+    two profile builders when the lockstep expansion scheduler
+    (:mod:`repro.core.batch_expand`) already expanded them; when
+    omitted each is computed here, to the same values.
     """
     grid, pitch = search.grid, search.pitch
     dist1, dist2 = search.dists
@@ -750,19 +753,20 @@ def finish_maze_route(
         tables = SegmentTables(library, pitch, max_k + 1, options.target_slew)
     else:
         max_k = tables.n_steps - 1
-    builders = []
-    for term in (term1, term2):
-        builders.append(
-            PathBuilder(
-                tables,
-                term.base_delay,
-                term.load_name,
-                options.target_slew,
-                library.buffer_names,
-                options.virtual_drive or library.buffer_names[-1],
-                options.sizing_lookahead,
+    if builders is None:
+        builders = []
+        for term in (term1, term2):
+            builders.append(
+                PathBuilder(
+                    tables,
+                    term.base_delay,
+                    term.load_name,
+                    options.target_slew,
+                    library.buffer_names,
+                    options.virtual_drive or library.buffer_names[-1],
+                    options.sizing_lookahead,
+                )
             )
-        )
     prof1 = builders[0].delays_up_to(max_k)
     prof2 = builders[1].delays_up_to(max_k)
 

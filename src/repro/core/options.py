@@ -40,6 +40,16 @@ def _default_batch_route_finish() -> bool:
     )
 
 
+def _default_batch_expansion() -> bool:
+    """Honor ``REPRO_BATCH_EXPANSION`` so CI can exercise the per-pair
+    profile-expansion fallback."""
+    return os.environ.get("REPRO_BATCH_EXPANSION", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
 def _default_strict() -> bool:
     """Honor ``REPRO_STRICT`` so CI equivalence legs re-raise fast-path
     failures instead of silently degrading past them."""
@@ -121,6 +131,13 @@ class CTSOptions:
     #   ranking + lockstep batched distance-field descent) instead of pair
     #   by pair (bit-identical to the per-pair finish; only engages under
     #   shared_windows; env REPRO_BATCH_ROUTE_FINISH=0 disables the default)
+    batch_expansion: bool = field(default_factory=_default_batch_expansion)
+    #   expand a shared-window level's delay profiles through the lockstep
+    #   scheduler (repro.core.batch_expand): grouped per-load curve rounds
+    #   answer every pair's PathBuilder run extension and buffer insertion
+    #   in shared sub-rounds instead of pair-by-pair lazy table evaluation
+    #   (bit-identical to the per-pair expansion; only engages under
+    #   shared_windows; env REPRO_BATCH_EXPANSION=0 disables the default)
     # --- resilience (fault-tolerant synthesis) ---------------------------
     strict: bool = field(default_factory=_default_strict)
     #   re-raise fast-path exceptions instead of degrading to the

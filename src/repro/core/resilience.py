@@ -22,8 +22,10 @@ class Degradation:
     Components match the knobs they degrade: ``pool`` (worker-pool
     routing to in-process), ``batch_commit`` (vectorized commit rounds
     to scalar probes), ``shared_windows`` (the cross-pair batcher to
-    per-pair windows), ``batch_route_finish`` (the level finishing
-    kernel to per-pair finishing).
+    per-pair windows), ``batch_expansion`` (the lockstep profile
+    expansion scheduler to per-pair lazy expansion),
+    ``batch_route_finish`` (the level finishing kernel to per-pair
+    finishing).
     """
 
     component: str

@@ -99,6 +99,14 @@ class SegmentTables:
         self._feasible_cache: dict[tuple[tuple[str, ...], str, float], np.ndarray] = {}
         self._delay_cache: dict[tuple[str, str], np.ndarray] = {}
         self._lengths = np.arange(n_steps + 1) * step
+        #: Memoization observability for the binding-level lookups
+        #: (:meth:`any_feasible` / :meth:`clamped_wire_delays`): every
+        #: re-bind to an already-seen load must be a cache hit, never a
+        #: recomputation — asserted by the unit tests, relied on by the
+        #: lockstep expansion scheduler (which pre-installs the entries
+        #: and expects ``_bind_load`` to be pure dict lookups).
+        self.binding_evals = 0
+        self.binding_hits = 0
 
     def eval_count(self, drive: str, load: str, fn: str) -> int:
         """How many leading length points a table genuinely evaluates.
@@ -191,8 +199,11 @@ class SegmentTables:
         key = (tuple(drives), load, target_slew)
         ok = self._feasible_cache.get(key)
         if ok is None:
+            self.binding_evals += 1
             ok = (self.slew_matrix(drives, load) <= target_slew).any(axis=0)
             self._feasible_cache[key] = ok
+        else:
+            self.binding_hits += 1
         return ok
 
     def clamped_wire_delays(self, drive: str, load: str) -> np.ndarray:
@@ -200,8 +211,11 @@ class SegmentTables:
         key = (drive, load)
         table = self._delay_cache.get(key)
         if table is None:
+            self.binding_evals += 1
             table = np.maximum(self._table(drive, load, "wire_delay"), 0.0)
             self._delay_cache[key] = table
+        else:
+            self.binding_hits += 1
         return table
 
     def max_feasible_steps(self, drive: str, load: str, target_slew: float) -> int:
@@ -314,14 +328,20 @@ class PathBuilder:
         return self._delays[: k + 1].copy()
 
     def delays_view(self, k: int) -> np.ndarray:
-        """No-copy view of the delays for steps 0..k (read-only use).
+        """No-copy view of the delays for steps 0..k (read-only).
 
         The level-batched route-finishing kernel gathers profile costs
         straight out of every pair's buffer; values are exactly
-        :meth:`delays_up_to`'s, the caller just must not mutate them.
+        :meth:`delays_up_to`'s. The view is returned non-writeable so
+        the no-copy contract is enforced, not just documented — a
+        caller that mutates it raises instead of corrupting the shared
+        profile (the underlying buffer stays writeable for run
+        extension).
         """
         self._ensure(k)
-        return self._delays[: k + 1]
+        view = self._delays[: k + 1]
+        view.flags.writeable = False
+        return view
 
     # ------------------------------------------------------------------
 
@@ -380,7 +400,18 @@ class PathBuilder:
         question"); candidate types are the whole buffer library. The
         chosen buffer's completed segment becomes a stage; its input
         becomes the new open segment's load.
+
+        Split into :meth:`_choose_buffer` (pure decision) and
+        :meth:`_commit_buffer` (state mutation) so the lockstep level
+        scheduler can resolve a whole level's insertions as one masked
+        sub-round: choose for every lane, group-prime the chosen types'
+        tables, then commit — the same two calls, the same arithmetic.
         """
+        position, type_name = self._choose_buffer(frontier_step)
+        self._commit_buffer(frontier_step, position, type_name)
+
+    def _choose_buffer(self, frontier_step: int) -> tuple[int, str]:
+        """The insertion decision: winning (position, type), no mutation."""
         n_back = min(self.lookahead, self._open) + 1
         seg_candidates = self._open - np.arange(n_back)
         # One gather per insertion: slews of every (recent cell, type) pair.
@@ -402,6 +433,12 @@ class PathBuilder:
             # sane library, but guard with the largest buffer at distance 0.
             position = frontier_step - self._open
             type_name = self.buffer_names[-1]
+        return position, type_name
+
+    def _commit_buffer(
+        self, frontier_step: int, position: int, type_name: str
+    ) -> None:
+        """Apply one chosen insertion: complete the stage, re-bind the load."""
         steps_from_start_of_open = position - (frontier_step - self._open)
         seg_steps = steps_from_start_of_open
         self._completed_delay += self.tables.buffer_delay(

@@ -16,6 +16,8 @@ Sites are the supervised/guarded points of the synthesis flow:
 ``batch_commit``    one vectorized lockstep commit round; ``index``
                     counts vectorized rounds per process
 ``shared_windows``  one shared-window (maze) ``route_level`` call
+``batch_expansion``  one lockstep profile-expansion scheduler call
+                    (the level's batched ``PathBuilder`` expansion)
 ``route_finish``    one level-batched route-finishing kernel call
 ``checkpoint``      one per-level checkpoint write (``halt`` here
                     simulates a kill at a level boundary)
@@ -63,6 +65,7 @@ SITES = (
     "worker_batch",
     "batch_commit",
     "shared_windows",
+    "batch_expansion",
     "route_finish",
     "checkpoint",
     "job_hang",

@@ -29,7 +29,14 @@ full synthesis runs with two engines:
   and materializes its paths pair by pair, the fallback the level-wide
   ranking/descent kernel is measured against (bit-identical trees; timed
   on the blockage scenarios at sizes >= ``ROUTE_FINISH_MIN_SINKS``, the
-  source of the ``route_finish_speedups`` rows).
+  source of the ``route_finish_speedups`` rows);
+- ``per-pair-expansion``: the vectorized engine with the lockstep
+  profile-expansion scheduler disabled (``batch_expansion=False``) —
+  every pair expands its delay profiles through the lazy per-pair
+  ``PathBuilder`` loop, the fallback the level-wide expansion scheduler
+  is measured against (bit-identical trees; timed on the blockage
+  scenarios at sizes >= ``EXPANSION_MIN_SINKS``, the source of the
+  ``expansion_speedups`` rows).
 
 ``collect_scaling`` produces a JSON-ready payload with per-scenario
 seconds and reference/vectorized speedups; ``write_scaling_json`` emits
@@ -87,6 +94,12 @@ SHARED_WINDOWS_MIN_SINKS = 1000
 #: timed (blockage scenarios only — the profile router has no maze
 #: candidates to rank, so the no-blockage ladder never enters the kernel).
 ROUTE_FINISH_MIN_SINKS = 1000
+
+#: Smallest ladder size at which lockstep-vs-per-pair profile expansion
+#: is timed (blockage scenarios, where the maze route phase the scheduler
+#: accelerates dominates; below this the per-level lane counts are too
+#: small for the grouped rounds to amortize).
+EXPANSION_MIN_SINKS = 1000
 
 #: Sink density: die edge grows with sqrt(n) so merge spans stay realistic.
 AREA_PER_SQRT_SINK = 1200.0
@@ -261,6 +274,7 @@ def time_synthesis(
             batch_commit=True,
             shared_windows=True,
             batch_route_finish=True,
+            batch_expansion=True,
         )
     elif engine == "reference":
         options = CTSOptions(
@@ -268,6 +282,7 @@ def time_synthesis(
             batch_commit=False,
             shared_windows=False,
             batch_route_finish=False,
+            batch_expansion=False,
         )
     elif engine == "scalar-commit":
         options = CTSOptions(
@@ -275,6 +290,7 @@ def time_synthesis(
             batch_commit=False,
             shared_windows=True,
             batch_route_finish=True,
+            batch_expansion=True,
         )
     elif engine == "per-pair-windows":
         options = CTSOptions(
@@ -282,6 +298,7 @@ def time_synthesis(
             batch_commit=True,
             shared_windows=False,
             batch_route_finish=True,
+            batch_expansion=True,
         )
     elif engine == "per-pair-finish":
         options = CTSOptions(
@@ -289,6 +306,15 @@ def time_synthesis(
             batch_commit=True,
             shared_windows=True,
             batch_route_finish=False,
+            batch_expansion=True,
+        )
+    elif engine == "per-pair-expansion":
+        options = CTSOptions(
+            workers=0,
+            batch_commit=True,
+            shared_windows=True,
+            batch_route_finish=True,
+            batch_expansion=False,
         )
     else:
         options = CTSOptions(
@@ -296,6 +322,7 @@ def time_synthesis(
             batch_commit=True,
             shared_windows=True,
             batch_route_finish=True,
+            batch_expansion=True,
         )
 
     def run() -> dict:
@@ -341,6 +368,7 @@ def time_synthesis(
         "scalar-commit",
         "per-pair-windows",
         "per-pair-finish",
+        "per-pair-expansion",
     ):
         raise ValueError(f"unknown engine {engine!r}")
     return run()
@@ -391,6 +419,7 @@ def collect_scaling(
     commit_speedups: list[dict] = []
     route_speedups: list[dict] = []
     route_finish_speedups: list[dict] = []
+    expansion_speedups: list[dict] = []
     for with_blockages in (False, True):
         for n in sizes:
             vec = time_synthesis(n, with_blockages, "vectorized", seed, repeats=2)
@@ -454,6 +483,38 @@ def collect_scaling(
                         "cells_ranked": sharing.get("cells_ranked", 0),
                         "descent_sides": sharing.get("descent_sides", 0),
                         "descent_cells": sharing.get("descent_cells", 0),
+                    }
+                )
+            if with_blockages and n >= EXPANSION_MIN_SINKS:
+                pe = time_synthesis(
+                    n, with_blockages, "per-pair-expansion", seed, repeats=2
+                )
+                samples.append(pe)
+                expansion_best = _alternating_route_best(
+                    n,
+                    with_blockages,
+                    seed,
+                    {
+                        "vectorized": vec["route_s"],
+                        "per-pair-expansion": pe["route_s"],
+                    },
+                )
+                batched_route = expansion_best["vectorized"]
+                per_pair_route = expansion_best["per-pair-expansion"]
+                sharing = vec.get("route_sharing", {})
+                expansion_speedups.append(
+                    {
+                        "n_sinks": n,
+                        "blockages": with_blockages,
+                        "per_pair_expansion_route_s": per_pair_route,
+                        "batched_expansion_route_s": batched_route,
+                        "expansion_speedup": per_pair_route / batched_route,
+                        "expansion_lanes": sharing.get("expansion_lanes", 0),
+                        "expansion_runs": sharing.get("expansion_runs", 0),
+                        "expansion_insertions": sharing.get(
+                            "expansion_insertions", 0
+                        ),
+                        "curve_points": sharing.get("curve_points", 0),
                     }
                 )
             if n >= PARALLEL_MIN_SINKS:
@@ -520,6 +581,7 @@ def collect_scaling(
         "commit_speedups": commit_speedups,
         "route_speedups": route_speedups,
         "route_finish_speedups": route_finish_speedups,
+        "expansion_speedups": expansion_speedups,
     }
 
 
@@ -648,6 +710,47 @@ def batch_finish_equivalence(
                 workers=workers if batched else 0,
                 shared_windows=True,
                 batch_route_finish=batched,
+            ),
+            blockages=blockages or None,
+        )
+        base = peek_node_id()
+        result = cts.synthesize(sinks, source)
+        out[f"{label}_tree"] = tree_signature(result.tree, base)
+        out[f"{label}_stats"] = result.merge_stats
+        out[f"{label}_levels"] = result.levels
+        out[f"{label}_sharing"] = result.route_sharing
+    return out
+
+
+def expansion_equivalence(
+    n_sinks: int = 200,
+    with_blockages: bool = True,
+    workers: int = 0,
+    seed: int = 5,
+) -> dict:
+    """Lockstep-scheduler and per-pair-expansion runs of one scenario,
+    reduced to signatures.
+
+    Like :func:`batch_finish_equivalence` but for the lockstep profile
+    expansion scheduler: ``batched_tree == per_pair_tree`` asserts
+    bit-identical synthesis (same primed segment tables, same buffer
+    placements, same delay profiles, same node creation order after
+    renumbering). Both sides route through shared windows and the
+    level-batched finisher; only the expansion path differs. Pass
+    ``workers`` to run the batched side through the PR 2 pool as well.
+    """
+    from repro.tree.export import tree_signature
+    from repro.tree.nodes import peek_node_id
+
+    sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    out: dict = {"n_sinks": n_sinks, "blockages": with_blockages}
+    for label, batched in (("batched", True), ("per_pair", False)):
+        cts = AggressiveBufferedCTS(
+            options=CTSOptions(
+                workers=workers if batched else 0,
+                shared_windows=True,
+                batch_route_finish=True,
+                batch_expansion=batched,
             ),
             blockages=blockages or None,
         )
@@ -815,6 +918,35 @@ def render_scaling(payload: dict) -> str:
             title=(
                 "Route finishing — per-pair ranking/materialization vs"
                 " level-batched kernel (bit-identical trees)"
+            ),
+        )
+    if payload.get("expansion_speedups"):
+        expansion_body = [
+            [
+                row["n_sinks"],
+                "yes" if row["blockages"] else "no",
+                round(row["per_pair_expansion_route_s"], 3),
+                round(row["batched_expansion_route_s"], 3),
+                round(row["expansion_speedup"], 2),
+                row["expansion_lanes"],
+                row["expansion_insertions"],
+            ]
+            for row in payload["expansion_speedups"]
+        ]
+        table += "\n\n" + format_table(
+            [
+                "sinks",
+                "blockages",
+                "per-pair expand[s]",
+                "lockstep expand[s]",
+                "speedup",
+                "lanes",
+                "insertions",
+            ],
+            expansion_body,
+            title=(
+                "Profile expansion — per-pair lazy PathBuilder loop vs"
+                " lockstep level scheduler (bit-identical trees)"
             ),
         )
     if payload.get("commit_speedups"):

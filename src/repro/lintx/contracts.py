@@ -98,6 +98,14 @@ KERNEL_CONTRACTS = (
         cli_flag="--no-shared-windows",
     ),
     KernelContract(
+        knob="batch_expansion",
+        env="REPRO_BATCH_EXPANSION",
+        module=os.path.join("core", "grid_cache.py"),
+        component="batch_expansion",
+        fault_site="batch_expansion",
+        cli_flag="--no-batch-expansion",
+    ),
+    KernelContract(
         knob="batch_route_finish",
         env="REPRO_BATCH_ROUTE_FINISH",
         module=os.path.join("core", "grid_cache.py"),

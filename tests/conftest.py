@@ -117,6 +117,28 @@ def random_ranking_case(gen, tie_levels: int = 3):
         return dist1, dist2, both, prof1, prof2
 
 
+def random_expansion_case(gen, library):
+    """One random profile-expansion lane: table geometry + a target step.
+
+    Returns ``(step, n_steps, load, base_delay, target_k)`` with
+    ``1 <= target_k <= n_steps - 1``. The pitch is drawn log-uniformly
+    across a deliberately wide range: small pitches yield long
+    buffer-free runs, large ones insertion-heavy expansions with forced
+    buffers at step 0, and the extreme tail reaches pitches where even
+    one step after an insertion violates the slew target — the per-pair
+    lazy expansion and the lockstep scheduler must agree on all of
+    them, including raising the identical RuntimeError on the
+    infeasible ones.
+    """
+    step = float(np.exp(gen.uniform(np.log(90.0), np.log(7000.0))))
+    n_steps = int(gen.integers(4, 90))
+    names = library.buffer_names
+    load = names[int(gen.integers(0, len(names)))]
+    base_delay = float(gen.uniform(0.0, 5e-10))
+    target_k = int(gen.integers(1, n_steps))
+    return step, n_steps, load, base_delay, target_k
+
+
 def random_descent_case(gen):
     """One random descent case: a BFS field plus a reached target cell.
 

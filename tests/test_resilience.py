@@ -206,6 +206,12 @@ class TestKernelDegradation:
         result = self._clean_and_faulted("shared_windows:1:raise")
         assert [d.component for d in result.degradations] == ["shared_windows"]
 
+    def test_batch_expansion_degrades_per_pair(self):
+        result = self._clean_and_faulted("batch_expansion:0:raise")
+        assert [d.component for d in result.degradations] == [
+            "batch_expansion"
+        ]
+
     def test_route_finish_degrades_per_pair(self):
         result = self._clean_and_faulted("route_finish:0:raise")
         assert [d.component for d in result.degradations] == [
