@@ -36,6 +36,11 @@ class FitQuality:
 #: baseline faithfully. Results are bit-identical either way.
 COMPILE_SCALAR = True
 
+#: Interned (exponents, lo, hi) shapes: fits with equal shape ids share
+#: normalized powers and term columns in :func:`predict_many_grouped`.
+#: Grow-only over a process's handful of distinct training grids.
+_SHAPE_IDS: dict[tuple, int] = {}
+
 
 def _multi_indices(n_vars: int, degree: int) -> list[tuple[int, ...]]:
     """All exponent tuples with total degree <= ``degree``."""
@@ -87,6 +92,12 @@ class PolynomialFit:
             (float(c), [(v, p) for v, p in enumerate(exps) if p > 0])
             for c, exps in zip(self.coeffs, self.exponents)
         ]
+        shape = (
+            tuple(tuple(e) for e in self.exponents),
+            self.lo.tobytes(),
+            self.hi.tobytes(),
+        )
+        self._shape_id = _SHAPE_IDS.setdefault(shape, len(_SHAPE_IDS))
         self._partial_cache: dict[float, object] = {}
         # The scalar entry point is megacalled by synthesis; shadow the
         # interpreted method with a straight-line compiled evaluator that
@@ -257,7 +268,13 @@ class PolynomialFit:
         powers: list[list[np.ndarray]] = []
         for v in range(self.n_vars):
             lo, hi = self._lo_list[v], self._hi_list[v]
-            xn = (np.clip(x[:, v], lo, hi) - lo) * self._inv_span[v] - 1.0
+            # (clip - lo) * inv_span - 1.0, composed in place: the op
+            # order matches the scalar evaluator, only the temporaries
+            # are elided.
+            xn = np.clip(x[:, v], lo, hi)
+            xn -= lo
+            xn *= self._inv_span[v]
+            xn -= 1.0
             var_pows: list[np.ndarray] = [None, xn]  # index = exponent
             for _ in range(self._max_exp[v] - 1):
                 var_pows.append(var_pows[-1] * xn)
@@ -291,12 +308,12 @@ class PolynomialFit:
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[1] != self.n_vars:
             raise ValueError(f"expected (n, {self.n_vars}) array, got {x.shape}")
-        total = np.zeros(x.shape[0])
-        for col, (coeff, __) in zip(
-            self._term_columns(self._batch_powers(x)), self._terms
-        ):
-            total += coeff if col is None else col * coeff
-        return total
+        return _accumulate_terms(
+            self._term_columns(self._batch_powers(x)),
+            self._terms,
+            x.shape[0],
+            np.empty(x.shape[0]),
+        )
 
     # ------------------------------------------------------------------
 
@@ -367,6 +384,26 @@ class PolynomialFit:
         )
 
 
+def _accumulate_terms(cols, terms, n, scratch) -> np.ndarray:
+    """Sum one fit's terms over shared term columns.
+
+    Performs ``total += coeff`` / ``total += col * coeff`` in term order —
+    the canonical order shared with the scalar evaluators — with the
+    per-term product placed into a caller-provided scratch buffer so the
+    accumulation allocates one output array instead of one per term.
+    The float results are bit for bit the naive loop's (``np.multiply``
+    into a buffer performs the same element-wise ops as ``col * coeff``).
+    """
+    total = np.zeros(n)
+    for col, (coeff, __) in zip(cols, terms):
+        if col is None:
+            total += coeff
+        else:
+            np.multiply(col, coeff, out=scratch)
+            total += scratch
+    return total
+
+
 def predict_many_grouped(
     fits: list["PolynomialFit"], x: np.ndarray
 ) -> list[np.ndarray]:
@@ -375,17 +412,15 @@ def predict_many_grouped(
     The branch fits of one driving buffer are trained on one sample grid,
     so they share exponents and input ranges; their normalized powers and
     per-term factor products are then identical and are computed once for
-    the whole group. Each fit still accumulates its terms in its own
-    order with the canonical term op order, so every output column is bit
-    for bit what ``fit.predict_many(x)`` (and hence ``fit.predict``)
+    the whole group (fits interned the same ``_shape_id`` at load time
+    exactly when that holds). Each fit still accumulates its terms in its
+    own order with the canonical term op order, so every output column is
+    bit for bit what ``fit.predict_many(x)`` (and hence ``fit.predict``)
     returns. Fits that do not share shape fall back to per-fit calls.
     """
     first = fits[0]
     if len(fits) > 1 and all(
-        f.exponents == first.exponents
-        and np.array_equal(f.lo, first.lo)
-        and np.array_equal(f.hi, first.hi)
-        for f in fits[1:]
+        f._shape_id == first._shape_id for f in fits[1:]
     ):
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[1] != first.n_vars:
@@ -393,11 +428,9 @@ def predict_many_grouped(
                 f"expected (n, {first.n_vars}) array, got {x.shape}"
             )
         cols = first._term_columns(first._batch_powers(x))
-        out = []
-        for f in fits:
-            total = np.zeros(x.shape[0])
-            for col, (coeff, __) in zip(cols, f._terms):
-                total += coeff if col is None else col * coeff
-            out.append(total)
-        return out
+        scratch = np.empty(x.shape[0])
+        return [
+            _accumulate_terms(cols, f._terms, x.shape[0], scratch)
+            for f in fits
+        ]
     return [f.predict_many(x) for f in fits]

@@ -78,6 +78,13 @@ def _build_parser() -> argparse.ArgumentParser:
         " (bit-identical, for debugging/timing)",
     )
     synth.add_argument(
+        "--no-soa-commit",
+        action="store_true",
+        help="run the commit phase on per-node object walks instead of"
+        " the structure-of-arrays tree mirror (bit-identical, for"
+        " debugging/timing)",
+    )
+    synth.add_argument(
         "--strict",
         action="store_true",
         help="re-raise fast-path failures instead of degrading to the"
@@ -153,6 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="finish shared-window maze routes pair by pair instead of"
         " through the level-wide ranking/materialization kernel",
+    )
+    bench.add_argument(
+        "--no-soa-commit",
+        action="store_true",
+        help="run the commit phase on per-node object walks instead of"
+        " the structure-of-arrays tree mirror",
     )
 
     batch = sub.add_parser(
@@ -260,6 +273,7 @@ def _cmd_synthesize(args) -> int:
         **({"shared_windows": False} if args.no_shared_windows else {}),
         **({"batch_expansion": False} if args.no_batch_expansion else {}),
         **({"batch_route_finish": False} if args.no_batch_route_finish else {}),
+        **({"soa_commit": False} if args.no_soa_commit else {}),
         **({"strict": True} if args.strict else {}),
         **({} if args.checkpoint_dir is None else {"checkpoint_dir": args.checkpoint_dir}),
         **({} if args.resume_from is None else {"resume_from": args.resume_from}),
@@ -324,6 +338,7 @@ def _cmd_bench(args) -> int:
         **({"shared_windows": False} if args.no_shared_windows else {}),
         **({"batch_expansion": False} if args.no_batch_expansion else {}),
         **({"batch_route_finish": False} if args.no_batch_route_finish else {}),
+        **({"soa_commit": False} if args.no_soa_commit else {}),
     )
     if args.table == "5.1":
         print(

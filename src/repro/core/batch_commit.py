@@ -132,6 +132,14 @@ class PairCommitState:
         self._n_snaked = plan.n_snaked
         self._snaked_delay = plan.snaked_delay
         self._finished = False
+        #: Set by the lockstep scheduler (never in scalar runs): park in
+        #: phase "stage" instead of forcing the stage buffer inline, so
+        #: a whole round's forced-stage decisions batch through the SoA
+        #: kernel. The pair's node-creating order is unchanged — the
+        #: stage buffer is always its last created node — so the serial
+        #: renumbering sees identical per-pair span sequences.
+        self.defer_stage = False
+        self._pending_stage_merge: TreeNode | None = None
         if plan.coincident:
             self.root = router._merge_coincident(plan.root1, plan.root2)
             return
@@ -313,6 +321,11 @@ class PairCommitState:
     def _finish_repair(self) -> None:
         router = self.router
         if not self._repair_inserted or self.round_idx == MAX_COMMIT_ROUNDS - 1:
+            if self.defer_stage:
+                self._pending_stage_merge = self.merge
+                self.merge = None
+                self.phase = "stage"
+                return
             self.root = router._maybe_force_stage_buffer(self.merge)
             self.merge = None
             self.phase = "done"
@@ -396,6 +409,15 @@ class BatchCommitScheduler:
         stats = router.commit_queries
         drive = router._virtual
         input_slew = router.options.target_slew
+        soa = getattr(router.engine, "_soa", None)
+        if soa is not None and spans is not None:
+            # Stage-buffer forcing parks in phase "stage" and resolves
+            # level-wide through the SoA kernel after each advance round
+            # (scalar per merge once the mirror degrades). Only when
+            # spans are recorded: the deferral regroups actual creation
+            # order across pairs, which the serial renumbering undoes.
+            for state in states:
+                state.defer_stage = True
         active = [i for i, state in enumerate(states) if not state.done]
         while active:
             gathered: list[tuple[int, list[CommitProbe]]] = []
@@ -428,6 +450,10 @@ class BatchCommitScheduler:
                     stats.batched_rounds += 1
                     stats.batched_rows += n_rows
                     answered = True
+                except MemoryError:
+                    # Never degrade past an OOM: the jobs watchdog must
+                    # see it, not a silently slower scalar retry.
+                    raise
                 except Exception as exc:
                     # Re-answering a partially scattered round scalar is
                     # safe: the scalar evaluator recomputes every row
@@ -439,7 +465,6 @@ class BatchCommitScheduler:
             if not answered:
                 for i, slot, probe in diff_rows + slew_rows:
                     results[i][slot] = states[i]._evaluate_scalar(probe)
-            next_active = []
             for i, __ in gathered:
                 state = states[i]
                 if spans is None:
@@ -450,9 +475,38 @@ class BatchCommitScheduler:
                     end = peek_node_id()
                     if end > start:
                         spans[i].append((start, end))
-                if not state.done:
-                    next_active.append(i)
-            active = next_active
+            staged = [i for i, __ in gathered if states[i].phase == "stage"]
+            if staged:
+                self._finish_stage_states(states, staged, spans)
+            active = [i for i, __ in gathered if not states[i].done]
+
+    def _finish_stage_states(self, states, staged, spans) -> None:
+        """Resolve a round's parked stage-buffer decisions level-wide.
+
+        One batched :meth:`~repro.core.soa_tree.SoaTree.stage_drivers`
+        call decides every parked merge; application (node creation,
+        stats, span recording) stays in pair order, so the per-pair
+        creation sequence — and therefore the serial renumbering —
+        is exactly the inline flow's.
+        """
+        router = self.router
+        soa = getattr(router.engine, "_soa", None)
+        merges = [states[i]._pending_stage_merge for i in staged]
+        drivers = soa.stage_drivers(router, merges) if soa is not None else None
+        for pos, i in enumerate(staged):
+            state = states[i]
+            merge = state._pending_stage_merge
+            state._pending_stage_merge = None
+            start = peek_node_id()
+            if drivers is None:
+                root = router._maybe_force_stage_buffer(merge)
+            else:
+                root = router._apply_stage_driver(merge, drivers[pos])
+            end = peek_node_id()
+            if spans is not None and end > start:
+                spans[i].append((start, end))
+            state.root = root
+            state.phase = "done"
 
     # ------------------------------------------------------------------
 

@@ -294,6 +294,14 @@ def _side_bounds(
 
 
 def _load_cap(engine: LibraryTimingEngine, node: TreeNode) -> float:
+    soa = getattr(engine, "_soa", None)
+    if soa is not None:
+        # Collapsed cap folded from the byte-cached buffer codes —
+        # bit-identical to the object walk, and O(depth) instead of
+        # O(subtree) on cache misses. None → object fallback.
+        cap = soa.load_cap(engine, node)
+        if cap is not None:
+            return cap
     return engine._load_cap_of(node)
 
 

@@ -132,6 +132,7 @@ _EXECUTION_FIELDS = (
     "resume_from",
     "heartbeat_file",
     "validate_every_merge",
+    "soa_commit",
 )
 
 
@@ -190,21 +191,27 @@ def _iter_preorder(root: TreeNode):
         stack.extend(reversed(node.children))
 
 
-def _encode_subtree(subtree: SubTree) -> dict:
-    nodes = [
-        (
-            node.id,
-            node.kind.value,
-            node.name,
-            node.location.x,
-            node.location.y,
-            node.wire_to_parent,
-            node.cap,
-            node.buffer.name if node.buffer is not None else None,
-            node.parent.id if node.parent is not None else None,
-        )
-        for node in _iter_preorder(subtree.root)
-    ]
+def _encode_subtree(subtree: SubTree, soa=None) -> dict:
+    nodes = None
+    if soa is not None:
+        # Row-identical to the object walk below (same preorder, same
+        # fields); returns None when the mirror has degraded.
+        nodes = soa.checkpoint_rows(subtree.root)
+    if nodes is None:
+        nodes = [
+            (
+                node.id,
+                node.kind.value,
+                node.name,
+                node.location.x,
+                node.location.y,
+                node.wire_to_parent,
+                node.cap,
+                node.buffer.name if node.buffer is not None else None,
+                node.parent.id if node.parent is not None else None,
+            )
+            for node in _iter_preorder(subtree.root)
+        ]
     return {
         "root": subtree.root.id,
         "bounds": tuple(subtree.bounds),
@@ -269,6 +276,7 @@ def write_checkpoint(
     commit_queries: CommitQueryStats,
     route_sharing: SharingStats,
     degradations: list[Degradation],
+    soa=None,
 ) -> str:
     """Atomically snapshot the flow state after topology ``level``."""
     payload = {
@@ -279,7 +287,7 @@ def write_checkpoint(
         "n_flips": n_flips,
         "next_node_id": next_node_id,
         "center": (center.x, center.y),
-        "subtrees": [_encode_subtree(s) for s in subtrees],
+        "subtrees": [_encode_subtree(s, soa) for s in subtrees],
         "merge_stats": _stats_dict(merge_stats),
         "commit_queries": _stats_dict(commit_queries),
         "route_sharing": _stats_dict(route_sharing),
@@ -330,6 +338,8 @@ def _read_payload(path: str) -> dict:
         )
     try:
         payload = pickle.loads(body)
+    except MemoryError:
+        raise
     except Exception as exc:
         raise CorruptCheckpointError(
             f"checkpoint {path!r} passed its digest but does not"

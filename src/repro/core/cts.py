@@ -27,7 +27,13 @@ from repro.tech.presets import cts_buffer_library, default_technology
 from repro.tech.technology import Technology
 from repro.timing.analysis import LibraryTimingEngine
 from repro.tree.clocktree import ClockTree
-from repro.tree.nodes import TreeNode, make_sink, peek_node_id, set_node_id
+from repro.tree.nodes import (
+    TreeNode,
+    make_sink,
+    peek_node_id,
+    set_node_id,
+    set_tree_recorder,
+)
 from repro.tree.validate import validate_tree
 
 
@@ -112,9 +118,40 @@ class AggressiveBufferedCTS:
         sinks: list[tuple[Point, float]],
         source_location: Point | None = None,
     ) -> SynthesisResult:
-        """Synthesize a clock tree over ``(location, capacitance)`` sinks."""
+        """Synthesize a clock tree over ``(location, capacitance)`` sinks.
+
+        Under ``options.soa_commit`` the run executes with a
+        structure-of-arrays mirror of the in-flight tree installed
+        (:class:`repro.core.soa_tree.SoaTree`): every node creation /
+        attach / detach is echoed into flat numpy columns, and the
+        commit phase's bounds-bucket prefill, forced-stage-buffer
+        decisions and checkpoint frames read the columns instead of
+        walking node objects — bit-identical to the object walks, which
+        remain the degradation fallback.
+        """
         if len(sinks) < 1:
             raise ValueError("need at least one sink")
+        if not self.options.soa_commit:
+            return self._synthesize(sinks, source_location)
+        from repro.core.soa_tree import SoaTree
+
+        soa = SoaTree(
+            resilience=self.router.resilience,
+            fault_plan=self.options.fault_plan,
+        )
+        previous = set_tree_recorder(soa)
+        self.engine.attach_soa(soa)
+        try:
+            return self._synthesize(sinks, source_location)
+        finally:
+            set_tree_recorder(previous)
+            self.engine.attach_soa(None)
+
+    def _synthesize(
+        self,
+        sinks: list[tuple[Point, float]],
+        source_location: Point | None = None,
+    ) -> SynthesisResult:
         t0 = time.perf_counter()
         resilience = self.router.resilience
         resilience.events.clear()
@@ -226,6 +263,7 @@ class AggressiveBufferedCTS:
             commit_queries=self.router.commit_queries,
             route_sharing=self.router.route_sharing,
             degradations=self.router.resilience.events,
+            soa=self.engine._soa,
         )
         if self.options.fault_plan:
             from repro.evalx.faultinject import active_plan
@@ -307,6 +345,8 @@ class AggressiveBufferedCTS:
             return ParallelMergeExecutor(
                 self.router, self.options.workers, self.options.merge_batch_size
             )
+        except MemoryError:
+            raise
         except Exception as exc:  # unpicklable context, exhausted fds, ...
             self.parallel_fallback_reason = f"{type(exc).__name__}: {exc}"
             return None

@@ -576,6 +576,8 @@ def route_level(
             if plan is not None:
                 plan.consult("batch_expansion")
             builders_by_pair = expand_level(primed, library, options, stats)
+        except MemoryError:
+            raise
         except Exception as exc:
             if resilience is None:
                 raise
@@ -594,6 +596,8 @@ def route_level(
                 primed, library, options, stats, results, builders_by_pair
             )
             return results
+        except MemoryError:
+            raise
         except Exception as exc:
             if resilience is None:
                 raise

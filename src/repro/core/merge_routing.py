@@ -29,6 +29,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, fields
 
+import numpy as np
+
 from repro.charlib.library import DelaySlewLibrary
 from repro.core.balance import snake_delay
 from repro.core.batch_commit import CommitQueryStats, PairCommitState
@@ -183,6 +185,15 @@ class MergeRouter:
             if options.shared_windows
             else None
         )
+        # Blockage bounds as columns: one vectorized containment test
+        # gates the (rarely entered) sequential nudge loop.
+        if self.blockages:
+            self._blockage_xmin = np.array([b.xmin for b in self.blockages])
+            self._blockage_xmax = np.array([b.xmax for b in self.blockages])
+            self._blockage_ymin = np.array([b.ymin for b in self.blockages])
+            self._blockage_ymax = np.array([b.ymax for b in self.blockages])
+        else:
+            self._blockage_xmin = None
         self._delay_per_unit = self._calibrate_delay_per_unit()
 
     # ------------------------------------------------------------------
@@ -329,6 +340,10 @@ class MergeRouter:
                     cache=self._grid_cache,
                     resilience=self.resilience,
                 )
+            except MemoryError:
+                # Never degrade past an OOM: the jobs watchdog must see
+                # it, not a silently slower per-pair retry.
+                raise
             except Exception as exc:
                 self.resilience.note("shared_windows", exc)
                 return [
@@ -584,6 +599,21 @@ class MergeRouter:
         and child; with blockages the interpolated point can land inside
         a macro, so it is projected to the nearest blockage edge.
         """
+        if self._blockage_xmin is None:
+            return point
+        # Vectorized any-contains pre-gate (same inclusive bounds as
+        # ``BBox.contains``): almost every candidate point is outside
+        # every macro, and the sequential projection loop below — whose
+        # per-region order matters once a point moves — only runs on a
+        # hit, with identical results.
+        inside = (
+            (self._blockage_xmin <= point.x)
+            & (point.x <= self._blockage_xmax)
+            & (self._blockage_ymin <= point.y)
+            & (point.y <= self._blockage_ymax)
+        )
+        if not inside.any():
+            return point
         for region in self.blockages:
             if region.contains(point):
                 candidates = [
@@ -608,6 +638,21 @@ class MergeRouter:
         if cap <= self.max_stage_cap:
             return merge
         buf = make_buffer(merge.location, self._choose_stage_driver(merge))
+        buf.attach(merge, 0.0)
+        self.stats.n_forced_stage_buffers += 1
+        return buf
+
+    def _apply_stage_driver(
+        self, merge: TreeNode, driver: BufferType | None
+    ) -> TreeNode:
+        """Apply a batched stage-driver decision (see
+        :meth:`repro.core.soa_tree.SoaTree.stage_drivers`): None keeps
+        the merge bare, otherwise the chosen buffer goes directly above
+        it — the same surgery and stats ``_maybe_force_stage_buffer``
+        performs inline."""
+        if driver is None:
+            return merge
+        buf = make_buffer(merge.location, driver)
         buf.attach(merge, 0.0)
         self.stats.n_forced_stage_buffers += 1
         return buf

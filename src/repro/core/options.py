@@ -50,6 +50,16 @@ def _default_batch_expansion() -> bool:
     )
 
 
+def _default_soa_commit() -> bool:
+    """Honor ``REPRO_SOA_COMMIT`` so CI can exercise the per-object
+    commit fallback."""
+    return os.environ.get("REPRO_SOA_COMMIT", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
 def _default_strict() -> bool:
     """Honor ``REPRO_STRICT`` so CI equivalence legs re-raise fast-path
     failures instead of silently degrading past them."""
@@ -138,6 +148,13 @@ class CTSOptions:
     #   in shared sub-rounds instead of pair-by-pair lazy table evaluation
     #   (bit-identical to the per-pair expansion; only engages under
     #   shared_windows; env REPRO_BATCH_EXPANSION=0 disables the default)
+    soa_commit: bool = field(default_factory=_default_soa_commit)
+    #   mirror the in-flight tree into flat structure-of-arrays columns
+    #   (repro.core.soa_tree) and drive the commit phase's bounds-bucket
+    #   prefill, level-wide stage-buffer finish and checkpoint snapshots
+    #   from the arrays instead of walking node objects (bit-identical to
+    #   the object-walk fallback; env REPRO_SOA_COMMIT=0 disables the
+    #   default)
     # --- resilience (fault-tolerant synthesis) ---------------------------
     strict: bool = field(default_factory=_default_strict)
     #   re-raise fast-path exceptions instead of degrading to the

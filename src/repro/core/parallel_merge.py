@@ -340,6 +340,8 @@ class ParallelMergeExecutor:
             return None
         except FuturesTimeout:
             return self._retry(batch, ordinal, timeout)
+        except MemoryError:
+            raise
         except Exception as exc:
             # The worker raised routing this batch (injected or real):
             # the pool is still healthy, only this batch degrades.
@@ -367,6 +369,8 @@ class ParallelMergeExecutor:
         except (BrokenProcessPool, CancelledError) as exc:
             self._note_broken(exc, ordinal)
             return None
+        except MemoryError:
+            raise
         except Exception as exc:
             self._resilience.note(
                 "pool",

@@ -25,7 +25,8 @@ class Degradation:
     per-pair windows), ``batch_expansion`` (the lockstep profile
     expansion scheduler to per-pair lazy expansion),
     ``batch_route_finish`` (the level finishing kernel to per-pair
-    finishing).
+    finishing), ``soa_commit`` (the structure-of-arrays tree mirror's
+    kernels to per-node object walks).
     """
 
     component: str

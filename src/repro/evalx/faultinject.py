@@ -71,8 +71,9 @@ SITES = (
     "job_hang",
     "job_oom",
     "checkpoint_torn",
+    "soa_commit",
 )
-MODES = ("crash", "raise", "timeout", "halt", "hang", "balloon", "torn")
+MODES = ("crash", "raise", "timeout", "halt", "hang", "balloon", "torn", "oom")
 
 #: ``hang``/``balloon`` park the process this long; supervised runs are
 #: SIGKILLed by their watchdog long before the sleep ends, and SIGKILL
@@ -210,6 +211,13 @@ class FaultPlan:
         if spec.mode == "halt":
             raise SynthesisHalted(
                 f"injected halt at {spec.site}:{spec.index}"
+            )
+        if spec.mode == "oom":
+            # A real allocation failure. Degradation guards must NOT
+            # swallow this — every one re-raises MemoryError, so the
+            # fault unwinds the synthesis even in non-strict runs.
+            raise MemoryError(
+                f"injected oom at {spec.site}:{spec.index}"
             )
         raise FaultInjected(
             f"injected fault {spec.site}:{spec.index}:{spec.mode}"

@@ -36,7 +36,14 @@ full synthesis runs with two engines:
   ``PathBuilder`` loop, the fallback the level-wide expansion scheduler
   is measured against (bit-identical trees; timed on the blockage
   scenarios at sizes >= ``EXPANSION_MIN_SINKS``, the source of the
-  ``expansion_speedups`` rows).
+  ``expansion_speedups`` rows);
+- ``per-object-commit``: the vectorized engine with the
+  structure-of-arrays tree mirror disabled (``soa_commit=False``) —
+  bounds-bucket prefill, forced-stage-buffer decisions and checkpoint
+  frames walk node objects per pair, the fallback the SoA columns are
+  measured against (bit-identical trees; timed at sizes >=
+  ``SOA_COMMIT_MIN_SINKS``, the source of the ``soa_commit_speedups``
+  rows).
 
 ``collect_scaling`` produces a JSON-ready payload with per-scenario
 seconds and reference/vectorized speedups; ``write_scaling_json`` emits
@@ -100,6 +107,10 @@ ROUTE_FINISH_MIN_SINKS = 1000
 #: accelerates dominates; below this the per-level lane counts are too
 #: small for the grouped rounds to amortize).
 EXPANSION_MIN_SINKS = 1000
+
+#: Smallest ladder size at which SoA-vs-object commit is timed (the
+#: mirror's level-wide gathers need enough rows per level to amortize).
+SOA_COMMIT_MIN_SINKS = 1000
 
 #: Sink density: die edge grows with sqrt(n) so merge spans stay realistic.
 AREA_PER_SQRT_SINK = 1200.0
@@ -275,6 +286,7 @@ def time_synthesis(
             shared_windows=True,
             batch_route_finish=True,
             batch_expansion=True,
+            soa_commit=True,
         )
     elif engine == "reference":
         options = CTSOptions(
@@ -283,6 +295,7 @@ def time_synthesis(
             shared_windows=False,
             batch_route_finish=False,
             batch_expansion=False,
+            soa_commit=False,
         )
     elif engine == "scalar-commit":
         options = CTSOptions(
@@ -291,6 +304,7 @@ def time_synthesis(
             shared_windows=True,
             batch_route_finish=True,
             batch_expansion=True,
+            soa_commit=True,
         )
     elif engine == "per-pair-windows":
         options = CTSOptions(
@@ -299,6 +313,7 @@ def time_synthesis(
             shared_windows=False,
             batch_route_finish=True,
             batch_expansion=True,
+            soa_commit=True,
         )
     elif engine == "per-pair-finish":
         options = CTSOptions(
@@ -307,6 +322,7 @@ def time_synthesis(
             shared_windows=True,
             batch_route_finish=False,
             batch_expansion=True,
+            soa_commit=True,
         )
     elif engine == "per-pair-expansion":
         options = CTSOptions(
@@ -315,6 +331,16 @@ def time_synthesis(
             shared_windows=True,
             batch_route_finish=True,
             batch_expansion=False,
+            soa_commit=True,
+        )
+    elif engine == "per-object-commit":
+        options = CTSOptions(
+            workers=0,
+            batch_commit=True,
+            shared_windows=True,
+            batch_route_finish=True,
+            batch_expansion=True,
+            soa_commit=False,
         )
     else:
         options = CTSOptions(
@@ -323,6 +349,7 @@ def time_synthesis(
             shared_windows=True,
             batch_route_finish=True,
             batch_expansion=True,
+            soa_commit=True,
         )
 
     def run() -> dict:
@@ -369,6 +396,7 @@ def time_synthesis(
         "per-pair-windows",
         "per-pair-finish",
         "per-pair-expansion",
+        "per-object-commit",
     ):
         raise ValueError(f"unknown engine {engine!r}")
     return run()
@@ -420,6 +448,7 @@ def collect_scaling(
     route_speedups: list[dict] = []
     route_finish_speedups: list[dict] = []
     expansion_speedups: list[dict] = []
+    soa_commit_speedups: list[dict] = []
     for with_blockages in (False, True):
         for n in sizes:
             vec = time_synthesis(n, with_blockages, "vectorized", seed, repeats=2)
@@ -530,6 +559,21 @@ def collect_scaling(
                         "speedup": vec["seconds"] / par["seconds"],
                     }
                 )
+            if n >= SOA_COMMIT_MIN_SINKS:
+                po = time_synthesis(
+                    n, with_blockages, "per-object-commit", seed, repeats=2
+                )
+                samples.append(po)
+                soa_commit_speedups.append(
+                    {
+                        "n_sinks": n,
+                        "blockages": with_blockages,
+                        "object_commit_s": po["commit_s"],
+                        "soa_commit_s": vec["commit_s"],
+                        "soa_commit_speedup": po["commit_s"] / vec["commit_s"],
+                        "commit_probes": vec["commit_probes"],
+                    }
+                )
             if n >= BATCH_COMMIT_MIN_SINKS:
                 sc = time_synthesis(
                     n, with_blockages, "scalar-commit", seed, repeats=2
@@ -582,6 +626,7 @@ def collect_scaling(
         "route_speedups": route_speedups,
         "route_finish_speedups": route_finish_speedups,
         "expansion_speedups": expansion_speedups,
+        "soa_commit_speedups": soa_commit_speedups,
     }
 
 
@@ -760,6 +805,42 @@ def expansion_equivalence(
         out[f"{label}_stats"] = result.merge_stats
         out[f"{label}_levels"] = result.levels
         out[f"{label}_sharing"] = result.route_sharing
+    return out
+
+
+def soa_commit_equivalence(
+    n_sinks: int = 200,
+    with_blockages: bool = True,
+    workers: int = 0,
+    seed: int = 5,
+) -> dict:
+    """SoA-mirror and per-object-commit runs of one scenario, reduced to
+    signatures.
+
+    Like :func:`batched_equivalence` but for the structure-of-arrays
+    tree mirror: ``soa_tree == object_tree`` asserts bit-identical
+    synthesis (same bounds-bucket cache fills, same forced stage
+    buffers, same node creation order after renumbering). Pass
+    ``workers`` to run the SoA side through the PR 2 pool as well.
+    """
+    from repro.tree.export import tree_signature
+    from repro.tree.nodes import peek_node_id
+
+    sinks, source, blockages = scaling_scenario(n_sinks, with_blockages, seed)
+    out: dict = {"n_sinks": n_sinks, "blockages": with_blockages}
+    for label, soa in (("soa", True), ("object", False)):
+        cts = AggressiveBufferedCTS(
+            options=CTSOptions(
+                workers=workers if soa else 0, soa_commit=soa
+            ),
+            blockages=blockages or None,
+        )
+        base = peek_node_id()
+        result = cts.synthesize(sinks, source)
+        out[f"{label}_tree"] = tree_signature(result.tree, base)
+        out[f"{label}_stats"] = result.merge_stats
+        out[f"{label}_levels"] = result.levels
+        out[f"{label}_queries"] = result.commit_queries
     return out
 
 
@@ -974,6 +1055,33 @@ def render_scaling(payload: dict) -> str:
             title=(
                 "Commit phase — scalar fallback vs lockstep batched"
                 " timing queries (bit-identical trees)"
+            ),
+        )
+    if payload.get("soa_commit_speedups"):
+        soa_body = [
+            [
+                row["n_sinks"],
+                "yes" if row["blockages"] else "no",
+                round(row["object_commit_s"], 3),
+                round(row["soa_commit_s"], 3),
+                round(row["soa_commit_speedup"], 2),
+                row["commit_probes"],
+            ]
+            for row in payload["soa_commit_speedups"]
+        ]
+        table += "\n\n" + format_table(
+            [
+                "sinks",
+                "blockages",
+                "object commit[s]",
+                "soa commit[s]",
+                "speedup",
+                "probes",
+            ],
+            soa_body,
+            title=(
+                "Commit phase — per-object walks vs structure-of-arrays"
+                " tree mirror (bit-identical trees)"
             ),
         )
     if payload.get("parallel_speedups"):

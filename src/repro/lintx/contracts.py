@@ -113,6 +113,14 @@ KERNEL_CONTRACTS = (
         fault_site="route_finish",
         cli_flag="--no-batch-route-finish",
     ),
+    KernelContract(
+        knob="soa_commit",
+        env="REPRO_SOA_COMMIT",
+        module=os.path.join("core", "soa_tree.py"),
+        component="soa_commit",
+        fault_site="soa_commit",
+        cli_flag="--no-soa-commit",
+    ),
 )
 
 FLOW_CONTRACTS = (

@@ -137,6 +137,15 @@ class LibraryTimingEngine:
         #: subtree_bounds_many diagnostics (batched commit phase).
         self.bounds_cache_hits = 0
         self.bounds_cache_misses = 0
+        #: Optional structure-of-arrays mirror (repro.core.soa_tree).
+        #: When attached, the bounds-bucket prefill evaluates flat
+        #: stages from its columns (bit-identical; degrades back to the
+        #: object walk on any failure).
+        self._soa = None
+
+    def attach_soa(self, soa) -> None:
+        """Install (or clear, with None) the structure-of-arrays mirror."""
+        self._soa = soa
 
     # ------------------------------------------------------------------
     # Stage evaluation
@@ -319,6 +328,8 @@ class LibraryTimingEngine:
         entries = [(node_id, self._cap_cache.pop(node_id)) for node_id in moved]
         for node_id, cap in entries:
             self._cap_cache[mapping[node_id]] = cap
+        if self._soa is not None:
+            self._soa.remap_ids(mapping)
 
     @staticmethod
     def _buckets_of(slew: float) -> tuple[int, float]:
@@ -503,11 +514,28 @@ class LibraryTimingEngine:
         return [self.subtree_bounds(node, slew, drive) for node, slew in items]
 
     #: Fit groups smaller than this evaluate with the compiled scalar
-    #: evaluators — numpy dispatch on tiny batches costs more. Results
-    #: are bit-identical either way.
+    #: evaluators — numpy dispatch on tiny batches costs more than the
+    #: handful of scalar calls. Results are bit-identical either way.
     _SCALAR_GROUP_ROWS = 16
 
     def _prefill_bucket_jobs(
+        self, jobs: list[tuple[str, TreeNode, list[int], str]]
+    ) -> None:
+        """Fill missing bounds buckets (SoA columns when mirrored).
+
+        When a structure-of-arrays mirror is attached and healthy, the
+        flat-stage kernel answers the whole job list from its columns
+        (delegating unmirrored/deep jobs back to the object walk
+        itself); otherwise — or after the mirror degrades — every job
+        takes the object walk. Stored values are bit-identical either
+        way.
+        """
+        soa = self._soa
+        if soa is not None and soa.prefill_bounds(self, jobs):
+            return
+        self._prefill_bucket_jobs_object(jobs)
+
+    def _prefill_bucket_jobs_object(
         self, jobs: list[tuple[str, TreeNode, list[int], str]]
     ) -> None:
         """Fill missing bounds buckets, batching flat stage evaluations.

@@ -21,6 +21,10 @@ class ClockTree:
         if root.kind is not NodeKind.SOURCE:
             raise ValueError("clock tree root must be a SOURCE node")
         self.root = root
+        #: Lazy name -> node index for :meth:`node_by_name`; entries are
+        #: re-validated on every hit, so tree surgery after a build makes
+        #: the index rebuild itself rather than serve stale nodes.
+        self._name_index: dict[str, TreeNode] | None = None
 
     @classmethod
     def from_network(
@@ -47,10 +51,28 @@ class ClockTree:
         return self.root.buffers()
 
     def node_by_name(self, name: str) -> TreeNode:
-        for node in self.root.walk():
-            if node.name == name:
+        index = self._name_index
+        if index is not None:
+            node = index.get(name)
+            if node is not None and node.name == name and self._in_tree(node):
                 return node
-        raise KeyError(f"no node named {name!r}")
+        # Miss, renamed, or detached entry: (re)build from the live tree.
+        # setdefault keeps the first node per name in walk order, matching
+        # what the linear scan used to return for duplicate names.
+        index = {}
+        for node in self.root.walk():
+            index.setdefault(node.name, node)
+        self._name_index = index
+        found = index.get(name)
+        if found is None:
+            raise KeyError(f"no node named {name!r}")
+        return found
+
+    def _in_tree(self, node: TreeNode) -> bool:
+        """Whether ``node`` still hangs under this tree's root (O(depth))."""
+        while node.parent is not None:
+            node = node.parent
+        return node is self.root
 
     def total_wirelength(self) -> float:
         return sum(n.wire_to_parent for n in self.root.walk())
@@ -75,15 +97,37 @@ class ClockTree:
         return best
 
     def stats(self) -> dict:
-        """Summary statistics for reports."""
-        sinks = self.sinks()
+        """Summary statistics for reports, computed in one walk.
+
+        Visits nodes in ``TreeNode.walk`` order, so the wirelength float
+        sum and the buffer histogram's insertion order are identical to
+        the per-statistic helpers above.
+        """
+        n_sinks = n_buffers = n_nodes = 0
+        wirelength = 0.0
+        depth = 0
+        buffers: dict[str, int] = {}
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            n_nodes += 1
+            if d > depth:
+                depth = d
+            wirelength += node.wire_to_parent
+            if node.kind is NodeKind.SINK:
+                n_sinks += 1
+            elif node.kind is NodeKind.BUFFER:
+                name = node.buffer.name
+                n_buffers += 1
+                buffers[name] = buffers.get(name, 0) + 1
+            stack.extend((c, d + 1) for c in node.children)
         return {
-            "n_sinks": len(sinks),
-            "n_buffers": self.buffer_count(),
-            "n_nodes": len(self.nodes()),
-            "wirelength": self.total_wirelength(),
-            "depth": self.depth(),
-            "buffers": self.buffer_histogram(),
+            "n_sinks": n_sinks,
+            "n_buffers": n_buffers,
+            "n_nodes": n_nodes,
+            "wirelength": wirelength,
+            "depth": depth,
+            "buffers": buffers,
         }
 
     def __repr__(self) -> str:

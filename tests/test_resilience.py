@@ -229,6 +229,36 @@ class TestKernelDegradation:
             )
 
 
+class TestMemoryErrorPropagation:
+    """Degradation guards must never swallow MemoryError.
+
+    Every kernel guard catches broad ``Exception`` to replay through its
+    bit-identical fallback, but each one re-raises ``MemoryError`` first:
+    degrading on OOM would retry the same allocation on the slow path and
+    thrash.  The ``oom`` fault mode raises a real ``MemoryError`` at the
+    consult point; it must surface even in non-strict runs.
+    """
+
+    @pytest.mark.parametrize(
+        "fault_plan",
+        [
+            "batch_commit:1:oom",
+            "shared_windows:1:oom",
+            "batch_expansion:0:oom",
+            "route_finish:0:oom",
+        ],
+    )
+    def test_oom_surfaces_in_non_strict_runs(self, fault_plan, monkeypatch):
+        import repro.core.batch_commit as bc
+
+        # Force the vectorized commit path so its guard actually runs
+        # on this small instance (same trick as TestKernelDegradation).
+        monkeypatch.setattr(bc, "SCALAR_ROUND_ROWS", 1)
+        sinks = blocked_sinks(18, seed=22)
+        with pytest.raises(MemoryError):
+            synth(sinks, blockages=BLOCKAGES, fault_plan=fault_plan)
+
+
 class TestCheckpointResume:
     def _sinks(self):
         return blocked_sinks(20, seed=23)

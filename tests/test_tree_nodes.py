@@ -139,9 +139,40 @@ class TestClockTree:
         tree = small_tree(buf20)
         assert tree.total_wirelength() == pytest.approx(1000 + 500 + 500 + 100 + 20)
 
+    def test_stats_matches_per_statistic_helpers(self, buf20):
+        tree = small_tree(buf20)
+        stats = tree.stats()
+        assert stats["n_sinks"] == len(tree.sinks())
+        assert stats["n_buffers"] == tree.buffer_count()
+        assert stats["n_nodes"] == len(tree.nodes())
+        assert stats["depth"] == tree.depth()
+        assert stats["buffers"] == tree.buffer_histogram()
+        # Same walk order, so the float sum is bit-identical, not approx.
+        assert stats["wirelength"] == tree.total_wirelength()
+
     def test_node_by_name_missing(self, buf20):
         with pytest.raises(KeyError):
             small_tree(buf20).node_by_name("nope")
+
+    def test_node_by_name_index_survives_surgery(self, buf20):
+        tree = small_tree(buf20)
+        sink_a = tree.node_by_name("sA")  # builds the lazy index
+        assert tree.node_by_name("sA") is sink_a
+        # Rename: the stale entry must not serve the old name, and the
+        # rebuilt index must find the new one.
+        sink_a.name = "sA2"
+        with pytest.raises(KeyError):
+            tree.node_by_name("sA")
+        assert tree.node_by_name("sA2") is sink_a
+        # Detach: a cached node that left the tree must not be served.
+        buf_b = tree.node_by_name("sB").parent
+        tree.node_by_name(buf_b.name)  # cache the soon-detached branch
+        buf_b.detach()
+        with pytest.raises(KeyError):
+            tree.node_by_name("sB")
+        # Reattach elsewhere: the rebuild sees it again.
+        sink_a.parent.attach(buf_b)
+        assert tree.node_by_name("sB") is buf_b.children[0]
 
     def test_tree_edges(self, buf20):
         tree = small_tree(buf20)
